@@ -1,0 +1,45 @@
+"""Ablation D2 — per-connection NIC contention (QP thrashing).
+
+With ``qp_penalty`` zeroed, the class-B all-to-all no longer decays when
+thread density rises past 2 per node — removing the very effect that
+motivates the hierarchical sub-thread approach in Figs 4.4/4.5.
+"""
+
+import dataclasses
+
+from repro.apps.ft import run_ft
+from repro.machine.presets import lehman
+from repro.network.conduits import conduit
+from repro.upc import UpcProgram
+
+NODES = 4
+
+
+def _decay(qp_penalty: float) -> float:
+    """comm(8/node) / comm(2/node) for split-phase class B."""
+    import repro.network.conduits as conduits
+
+    params = dataclasses.replace(conduit("ib-qdr"), qp_penalty=qp_penalty)
+    original = conduits.CONDUITS["ib-qdr"]
+    conduits.CONDUITS["ib-qdr"] = params
+    try:
+        c2 = run_ft("B", threads=2 * NODES, threads_per_node=2,
+                    preset=lehman(nodes=NODES), backing="virtual",
+                    iterations=4)["comm_s"]
+        c8 = run_ft("B", threads=8 * NODES, threads_per_node=8,
+                    preset=lehman(nodes=NODES), backing="virtual",
+                    iterations=4)["comm_s"]
+    finally:
+        conduits.CONDUITS["ib-qdr"] = original
+    return c8 / c2
+
+
+def test_connection_contention_ablation(benchmark):
+    def run():
+        return {"with_penalty": _decay(0.05), "ablated": _decay(0.0)}
+
+    decay = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["comm_8pn_over_2pn"] = decay
+    assert decay["with_penalty"] > 1.15   # density hurts
+    assert decay["ablated"] < decay["with_penalty"]
+    assert decay["ablated"] < 1.10        # without QP thrash, no decay

@@ -1,0 +1,44 @@
+"""Ablation D5 — the MPI eager/rendezvous threshold.
+
+A rendezvous send cannot start until the receiver arrives; pushing the
+eager threshold up lets late receivers stop hurting senders, moving the
+MPI-vs-UPC comparison of Fig 4.5.  This bench measures a send to a
+deliberately late receiver on both sides of the threshold.
+"""
+
+from repro.machine.presets import generic_smp
+from repro.mpi import MpiParams, MpiProgram
+
+LATE = 5e-3
+SIZE = 128 << 10  # between the two thresholds below
+
+
+def _sender_time(eager_threshold: int) -> float:
+    prog = MpiProgram(
+        generic_smp(nodes=2), ranks=2, ranks_per_node=1,
+        params=MpiParams(eager_threshold=eager_threshold),
+    )
+
+    def main(r):
+        if r.rank == 0:
+            t0 = r.wtime()
+            yield from r.send(1, SIZE)
+            return r.wtime() - t0
+        yield from r.compute(LATE)
+        yield from r.recv(0)
+        return None
+
+    return prog.run(main).returns[0]
+
+
+def test_rendezvous_ablation(benchmark):
+    def run():
+        return {
+            "rendezvous": _sender_time(eager_threshold=64 << 10),
+            "eager": _sender_time(eager_threshold=256 << 10),
+        }
+
+    t = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["sender_blocked_s"] = t
+    assert t["rendezvous"] >= LATE          # blocked on the late receiver
+    assert t["eager"] < LATE / 2            # buffered send returns early

@@ -1,0 +1,35 @@
+"""Ablation D1 — shared-pointer translation cost.
+
+Zeroing the per-access translation charge must collapse Table 3.1's
+baseline/cast gap: the whole effect the castability extension exists for
+is runtime software overhead, not data movement.
+"""
+
+import dataclasses
+
+from repro.apps.stream import run_twisted
+from repro.machine.presets import lehman
+
+N = 200_000
+
+
+def _gap(translation_time: float) -> float:
+    preset = lehman(nodes=1)
+    memory = dataclasses.replace(
+        preset.memory, pointer_translation_time=translation_time
+    )
+    preset = dataclasses.replace(preset, memory=memory)
+    base = run_twisted("upc-baseline", preset=preset, elements_per_thread=N)
+    cast = run_twisted("upc-cast", preset=preset, elements_per_thread=N)
+    return cast["throughput_gbs"] / base["throughput_gbs"]
+
+
+def test_translation_ablation(benchmark):
+    def run():
+        return {"with_cost": _gap(17e-9), "ablated": _gap(0.0)}
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cast_over_baseline"] = gaps
+    # with the calibrated cost the gap is ~7x; ablated it vanishes
+    assert gaps["with_cost"] > 4.0
+    assert gaps["ablated"] < 1.1

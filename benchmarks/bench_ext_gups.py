@@ -1,0 +1,29 @@
+"""Extension benchmark: RandomAccess (GUPS) under thread-group aggregation.
+
+Not a thesis artifact — §4.4 names Random Access as a further thread-group
+use case; this bench records the three-variant comparison and checks the
+bucketing win.
+"""
+
+from repro.apps.randomaccess import GupsConfig, run_gups
+from repro.machine.presets import lehman
+
+CFG = dict(table_words=1 << 13, updates_per_thread=1024)
+
+
+def test_gups_variants(benchmark):
+    def run():
+        out = {}
+        for variant in ("fine-grained", "bucketed", "groups"):
+            out[variant] = run_gups(
+                config=GupsConfig(variant=variant, **CFG),
+                threads=8, threads_per_node=4, preset=lehman(nodes=2),
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["gups"] = {k: v["gups"] for k, v in out.items()}
+    assert all(v["verified"] for v in out.values())
+    assert out["bucketed"]["gups"] > 2 * out["fine-grained"]["gups"]
+    assert out["groups"]["gups"] >= out["bucketed"]["gups"]
+    assert out["groups"]["bucket_flushes"] < out["bucketed"]["bucket_flushes"]

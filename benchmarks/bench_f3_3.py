@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Fig 3.3 (UTS scalability) (experiment f3_3) and check its shape."""
+
+
+def test_f3_3(run_paper_experiment):
+    run_paper_experiment("f3_3")

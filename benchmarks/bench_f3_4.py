@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Fig 3.4 (FT all-to-all runtime vs manual optimizations) (experiment f3_4) and check its shape."""
+
+
+def test_f3_4(run_paper_experiment):
+    run_paper_experiment("f3_4")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Fig 4.2 (multi-link microbenchmark) (experiment f4_2) and check its shape."""
+
+
+def test_f4_2(run_paper_experiment):
+    run_paper_experiment("f4_2")

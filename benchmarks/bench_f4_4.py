@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Fig 4.4 (FT runtime breakdown) (experiment f4_4) and check its shape."""
+
+
+def test_f4_4(run_paper_experiment):
+    run_paper_experiment("f4_4")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Fig 4.5 (FT communication time) (experiment f4_5) and check its shape."""
+
+
+def test_f4_5(run_paper_experiment):
+    run_paper_experiment("f4_5")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Fig 4.6 (FT overall performance) (experiment f4_6) and check its shape."""
+
+
+def test_f4_6(run_paper_experiment):
+    run_paper_experiment("f4_6")

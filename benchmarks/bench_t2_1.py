@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Table 2.1 (platform characteristics) (experiment t2_1) and check its shape."""
+
+
+def test_t2_1(run_paper_experiment):
+    run_paper_experiment("t2_1")

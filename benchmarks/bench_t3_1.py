@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Table 3.1 (twisted STREAM triad) (experiment t3_1) and check its shape."""
+
+
+def test_t3_1(run_paper_experiment):
+    run_paper_experiment("t3_1")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Table 3.2 (UTS profiling) (experiment t3_2) and check its shape."""
+
+
+def test_t3_2(run_paper_experiment):
+    run_paper_experiment("t3_2")

@@ -1,0 +1,5 @@
+"""Benchmark: regenerate Table 4.1 (hybrid STREAM placement) (experiment t4_1) and check its shape."""
+
+
+def test_t4_1(run_paper_experiment):
+    run_paper_experiment("t4_1")

@@ -1,0 +1,35 @@
+"""Benchmark-suite plumbing.
+
+Each ``bench_*`` file regenerates one paper table/figure at ``quick``
+scale through pytest-benchmark (single round — the experiments are
+deterministic simulations, so repetition adds nothing), asserts the
+paper's qualitative shape held, and attaches the regenerated numbers as
+benchmark extra info.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_paper_experiment(benchmark):
+    """Run a harness experiment under the benchmark timer; fail on shape."""
+
+    def _run(experiment_id: str, scale: str = "quick"):
+        from repro.harness import run_experiment
+
+        result = benchmark.pedantic(
+            run_experiment, args=(experiment_id,), kwargs={"scale": scale},
+            rounds=1, iterations=1,
+        )
+        benchmark.extra_info["experiment"] = experiment_id
+        benchmark.extra_info["title"] = result.title
+        if result.rows:
+            benchmark.extra_info["rows"] = result.rows[:20]
+        if result.series:
+            benchmark.extra_info["series"] = {
+                k: v for k, v in list(result.series.items())[:10]
+            }
+        assert result.shape_ok, "\n".join(result.shape_failures)
+        return result
+
+    return _run

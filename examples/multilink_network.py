@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Multi-link network behaviour: processes vs pthreads (Fig 4.2).
+
+Measures round-trip latency and flood bandwidth between two simulated
+QDR-connected nodes with 1, 2 and 4 link pairs, under the
+connection-per-process and shared-connection (pthreads) backends.
+
+Run:  python examples/multilink_network.py
+"""
+
+from repro.apps.microbench import run_flood_bandwidth, run_roundtrip_latency
+
+LAT_SIZES = (8, 512, 8 << 10, 32 << 10)
+BW_SIZES = (4 << 10, 64 << 10, 1 << 20)
+
+
+def main() -> None:
+    print("Round-trip latency (us), upc_memget:")
+    print(f"{'config':16s} " + " ".join(f"{s:>9d}B" for s in LAT_SIZES))
+    for pairs, backend in ((1, "processes"), (4, "processes"), (4, "pthreads")):
+        lat = run_roundtrip_latency(pairs, backend, sizes=LAT_SIZES, repeats=7)
+        label = f"{pairs} link {backend}"
+        print(f"{label:16s} " + " ".join(f"{lat[s]:9.1f} " for s in LAT_SIZES))
+
+    print("\nFlood bandwidth (MB/s), upc_memput_async:")
+    print(f"{'config':16s} " + " ".join(f"{s:>9d}B" for s in BW_SIZES))
+    for pairs, backend in ((1, "processes"), (2, "processes"),
+                           (4, "processes"), (4, "pthreads")):
+        bw = run_flood_bandwidth(pairs, backend, sizes=BW_SIZES, messages=16)
+        label = f"{pairs} link {backend}"
+        print(f"{label:16s} " + " ".join(f"{bw[s]:9.0f} " for s in BW_SIZES))
+
+    print("\nShapes to notice (paper §4.3.1): one pair is connection-limited")
+    print("(~1.4 GB/s); several process pairs reach the NIC's ~2.4 GB/s;")
+    print("pthread pairs share one connection, so they extract less bandwidth")
+    print("and their latency serializes as messages queue for injection.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: a first UPC program on the simulated cluster.
+
+Builds a two-node Lehman machine, launches 8 UPC threads, allocates a
+shared array, and exercises the PGAS basics: affinity, upc_forall,
+bulk memory copies, pointer privatization, barriers and a reduction.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.machine import presets
+from repro.upc import SharedPointer, UpcProgram, collectives, forall
+
+N = 64
+
+
+def main(upc):
+    me, T = upc.MYTHREAD, upc.THREADS
+    if me == 0:
+        print(f"hello from {T} UPC threads on "
+              f"{upc.topo.describe()}")
+
+    # Collectively allocate a block-distributed shared array and fill the
+    # elements each thread has affinity to (classic upc_forall).
+    A = yield from upc.all_alloc(N, dtype="f8", blocksize="block")
+    for i in forall.indices(upc, 0, N, affinity=A):
+        A[i] = float(i * i)
+    yield from upc.barrier()
+
+    # Read a remote block through the runtime (costs simulated time).
+    start = (me + 1) % T * A.blocksize
+    data = yield from A.get_block(upc, start, 4)
+    assert np.allclose(data, [float(i * i) for i in range(start, start + 4)])
+
+    # Privatize a pointer into a castable neighbour's memory, if any.
+    castable = [t for t in upc.peers_sharing_memory() if t != me]
+    if castable:
+        ptr = SharedPointer(A, castable[0] * A.blocksize)
+        local_ptr = ptr.privatize(upc)  # bupc_cast: translation-free access
+        value = yield from local_ptr.get(upc)
+        assert value == float(local_ptr.index ** 2)
+
+    # A global reduction over the whole array.
+    my_sum = float(A[A.local_indices(me)].sum())
+    total = yield from collectives.allreduce(
+        upc, upc.program.world, my_sum, lambda a, b: a + b
+    )
+    if me == 0:
+        expected = sum(i * i for i in range(N))
+        print(f"sum of squares 0..{N - 1}: {total:.0f} (expected {expected})")
+        print(f"simulated time: {upc.wtime() * 1e6:.1f} us")
+    return total
+
+
+if __name__ == "__main__":
+    prog = UpcProgram(presets.lehman(nodes=2), threads=8, threads_per_node=4)
+    result = prog.run(main)
+    assert len(set(result.returns)) == 1
+    print(f"all {prog.threads} threads agreed; job took "
+          f"{result.elapsed * 1e6:.1f} us of simulated time")

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""RandomAccess (GUPS) with thread-group aggregation.
+
+The thesis (§4.4) lists Random Access beside UTS as a natural fit for
+the thread-group approach: single-level parallelism, fine-grained
+communication that rewards hardware-aware batching.  This example fires
+random XOR updates at a distributed table under three strategies and
+verifies the final table against a serial replay.
+
+Run:  python examples/random_access.py
+"""
+
+from repro.apps.randomaccess import GupsConfig, run_gups
+from repro.machine.presets import lehman
+
+CFG = dict(table_words=1 << 14, updates_per_thread=2048)
+
+
+def main() -> None:
+    print("RandomAccess: 16 threads on 4 Lehman nodes, "
+          f"{16 * CFG['updates_per_thread']} updates\n")
+    print(f"{'variant':14s} {'GUPS':>9s} {'flushes':>8s} {'remote upd':>11s}")
+    for variant in ("fine-grained", "bucketed", "groups"):
+        r = run_gups(
+            config=GupsConfig(variant=variant, **CFG),
+            threads=16, threads_per_node=4, preset=lehman(nodes=4),
+        )
+        assert r["verified"]
+        print(f"{variant:14s} {r['gups']:9.6f} {r['bucket_flushes']:8d} "
+              f"{r['remote_updates']:11d}")
+    print("\nEach remote fine-grained update pays a full network round;")
+    print("bucketing amortizes it (~5x here).  Thread groups additionally")
+    print("apply intra-node updates through privatized pointers, cutting")
+    print("bucket flushes; the win grows with the intra-node share of")
+    print("updates (threads-per-node / THREADS).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Unbalanced Tree Search with locality-conscious work stealing.
+
+Counts a ~75k-node binomial tree on a simulated 8-node Opteron cluster
+under the three victim-selection policies of Chapter 3, over InfiniBand
+and Gigabit Ethernet, and prints the Fig 3.3 / Table 3.2 style summary.
+
+Run:  python examples/uts_work_stealing.py
+"""
+
+from repro.apps.uts import count_tree, run_uts, small_tree
+from repro.machine.presets import pyramid
+
+TREE = small_tree("medium")
+THREADS = 32
+NODES = 8
+
+
+def main() -> None:
+    expected, depth = count_tree(TREE)
+    print(f"tree: {expected} nodes, depth {depth}")
+    print(f"{THREADS} threads on {NODES} nodes "
+          f"({THREADS // NODES} per node)\n")
+    header = (f"{'network':8s} {'policy':17s} {'Mnodes/s':>9s} "
+              f"{'steals':>7s} {'local%':>7s} {'avg steal':>10s}")
+    print(header)
+    print("-" * len(header))
+    for conduit, chunk in (("ib-ddr", 8), ("gige", 20)):
+        for policy in ("baseline", "local", "local+diffusion"):
+            r = run_uts(
+                policy,
+                tree=TREE,
+                preset=pyramid(nodes=NODES),
+                threads=THREADS,
+                threads_per_node=THREADS // NODES,
+                conduit=conduit,
+                steal_chunk=chunk,
+            )
+            assert r["tree_nodes"] == expected  # no node lost or duplicated
+            print(f"{conduit:8s} {policy:17s} {r['mnodes_per_s']:9.1f} "
+                  f"{r['steals']:7d} {r['pct_local_steals']:6.1f}% "
+                  f"{r['avg_steal_size']:10.1f}")
+        print()
+    print("Findings (paper §3.3.2): the locality-conscious policies beat the")
+    print("random baseline, more so on the slow network; rapid diffusion")
+    print("moves more work per steal and raises the local-steal share.")
+
+
+if __name__ == "__main__":
+    main()

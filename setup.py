@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment has setuptools but not `wheel`, so PEP-660
+editable wheels cannot be built.  This shim lets `python setup.py develop`
+(and pip's legacy editable path) install the package from pyproject.toml
+metadata.
+"""
+
+from setuptools import setup
+
+setup()

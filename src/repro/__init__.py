@@ -1,0 +1,40 @@
+"""repro — reproduction of *Exploiting Hierarchical Parallelism Using UPC*.
+
+This package implements, in pure Python on a deterministic discrete-event
+simulator, the full system stack of Lingyuan Wang's 2010 thesis:
+
+* :mod:`repro.sim` — the discrete-event simulation kernel.
+* :mod:`repro.machine` — hierarchical machine models (nodes, ccNUMA
+  sockets, cores, SMT) with calibrated memory cost models.
+* :mod:`repro.network` — LogGP-style interconnect fabric with NIC
+  contention and connection sharing (InfiniBand QDR/DDR, GigE, SMP).
+* :mod:`repro.gasnet` — a GASNet-like communication layer (segments,
+  active messages, non-blocking put/get, PSHM supernodes, teams).
+* :mod:`repro.upc` — the UPC/PGAS runtime: shared arrays, shared pointers
+  with privatization (``bupc_cast``), barriers, collectives, thread groups.
+* :mod:`repro.subthreads` — hierarchical sub-thread runtimes (OpenMP-like,
+  Cilk-like, in-house thread pool) layered under UPC threads.
+* :mod:`repro.mpi` — a simulated two-sided MPI baseline.
+* :mod:`repro.apps` — the paper's workloads (STREAM, UTS, NAS FT,
+  multi-link microbenchmarks).
+* :mod:`repro.harness` — one experiment module per table/figure.
+
+Quickstart::
+
+    from repro.machine import presets
+    from repro.upc import UpcProgram
+
+    machine = presets.lehman(nodes=2)
+    prog = UpcProgram(machine, threads=16)
+
+    def main(upc):
+        if upc.MYTHREAD == 0:
+            print("hello from", upc.THREADS, "threads")
+        yield from upc.barrier()
+
+    prog.run(main)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,9 @@
+"""The paper's application benchmarks.
+
+* :mod:`repro.apps.stream` — STREAM triad variants (Tables 3.1 and 4.1).
+* :mod:`repro.apps.uts` — Unbalanced Tree Search with locality-conscious
+  work stealing (Fig 3.3, Table 3.2).
+* :mod:`repro.apps.ft` — NAS FT 3-D FFT with split-phase and overlap
+  variants, hybrid sub-thread and MPI comparators (Figs 3.4, 4.4–4.6).
+* :mod:`repro.apps.microbench` — multi-link latency/bandwidth (Fig 4.2).
+"""

@@ -1,0 +1,39 @@
+"""NAS FT: 3-D FFT benchmark (§3.3.3, §4.3.3).
+
+Solves a PDE with forward/inverse 3-D FFTs: ``u1 = FFT(u0)`` once, then
+each iteration multiplies by evolution factors, inverse-transforms, and
+checksums.  The 1-D slab decomposition computes two dimensions locally
+and re-localizes the third with a global exchange — the all-to-all that
+dominates execution and motivates both of the thesis's approaches.
+
+* :mod:`~repro.apps.ft.classes` — NAS problem classes (S/W/A/B).
+* :mod:`~repro.apps.ft.kernel` — serial reference: NAS LCG initial
+  conditions, evolution factors, checksums, ``numpy.fft`` evolution.
+* :mod:`~repro.apps.ft.distributed` — the UPC implementations
+  (split-phase and overlap; pure, pthreads, and hybrid sub-threads)
+  plus the MPI comparator, with per-phase timing.
+"""
+
+from repro.apps.ft.classes import FT_CLASSES, FtClass, ft_class
+from repro.apps.ft.kernel import (
+    checksum,
+    evolve_factors,
+    initial_condition,
+    nas_random,
+    serial_ft,
+)
+from repro.apps.ft.distributed import FtConfig, run_exchange_only, run_ft
+
+__all__ = [
+    "FT_CLASSES",
+    "FtClass",
+    "FtConfig",
+    "checksum",
+    "evolve_factors",
+    "ft_class",
+    "initial_condition",
+    "nas_random",
+    "run_exchange_only",
+    "run_ft",
+    "serial_ft",
+]

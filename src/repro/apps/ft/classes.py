@@ -1,0 +1,57 @@
+"""NAS FT problem classes.
+
+Sizes and iteration counts from the NAS Parallel Benchmarks; the thesis
+evaluates class B (512×256×256, 20 iterations).  Dimensions are stored
+``(nx, ny, nz)`` with the slab decomposition cutting ``nz`` first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FtClass", "FT_CLASSES", "ft_class"]
+
+
+@dataclass(frozen=True)
+class FtClass:
+    name: str
+    nx: int
+    ny: int
+    nz: int
+    iterations: int
+
+    @property
+    def total_points(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_points * 16  # complex128
+
+    def fft3d_flops(self) -> float:
+        """Flop count of one 3-D FFT (5 N log2 N)."""
+        import math
+
+        n = self.total_points
+        return 5.0 * n * math.log2(n)
+
+    def __str__(self) -> str:
+        return f"class {self.name} ({self.nx}x{self.ny}x{self.nz})"
+
+
+FT_CLASSES = {
+    "T": FtClass("T", 32, 32, 32, 2),       # test-scale, not a NAS class
+    "S": FtClass("S", 64, 64, 64, 6),
+    "W": FtClass("W", 128, 128, 32, 6),
+    "A": FtClass("A", 256, 256, 128, 6),
+    "B": FtClass("B", 512, 256, 256, 20),
+}
+
+
+def ft_class(name: str) -> FtClass:
+    try:
+        return FT_CLASSES[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown FT class {name!r}; available: {sorted(FT_CLASSES)}"
+        ) from None

@@ -1,0 +1,9 @@
+"""Network microbenchmarks (§4.3.1, Fig 4.2)."""
+
+from repro.apps.microbench.multilink import (
+    run_flood_bandwidth,
+    run_roundtrip_latency,
+    sweep_multilink,
+)
+
+__all__ = ["run_flood_bandwidth", "run_roundtrip_latency", "sweep_multilink"]

@@ -1,0 +1,159 @@
+"""Multi-link latency and flood-bandwidth microbenchmarks (Fig 4.2).
+
+Two Lehman nodes over QDR InfiniBand; each node runs 1–8 UPC threads and
+thread *i* pairs with thread *i* on the other node.  With the processes
+backend every pair owns a network connection; with pthreads all pairs on
+a node share one.  The benchmarks measure:
+
+* **round-trip latency** — timed ``upc_memget`` (request + response wire
+  flights), median over repetitions, per message size;
+* **unidirectional flood bandwidth** — aggregate bytes/s across all
+  pairs, each streaming back-to-back non-blocking ``upc_memput``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.machine.presets import PlatformPreset, lehman
+from repro.upc import UpcProgram
+
+__all__ = ["run_roundtrip_latency", "run_flood_bandwidth", "sweep_multilink"]
+
+#: Default sweep of message sizes (bytes), powers of two like the figure.
+LATENCY_SIZES = tuple(1 << k for k in range(0, 16))       # 1 B .. 32 KB
+BANDWIDTH_SIZES = tuple(1 << k for k in range(6, 22))     # 64 B .. 2 MB
+
+
+def _make_program(
+    link_pairs: int, backend: str, preset: Optional[PlatformPreset], conduit: Optional[str]
+) -> UpcProgram:
+    if not 1 <= link_pairs:
+        raise ValueError(f"link_pairs must be >= 1, got {link_pairs}")
+    preset = preset or lehman(nodes=2)
+    if backend == "processes":
+        tpp = 1
+    elif backend == "pthreads":
+        tpp = link_pairs
+    else:
+        raise ValueError(f"backend must be 'processes' or 'pthreads', got {backend!r}")
+    return UpcProgram(
+        preset,
+        threads=2 * link_pairs,
+        threads_per_node=link_pairs,
+        threads_per_process=tpp,
+        conduit=conduit,
+        binding="compact" if tpp == 1 else "sockets",
+    )
+
+
+def run_roundtrip_latency(
+    link_pairs: int = 1,
+    backend: str = "processes",
+    sizes: Sequence[int] = LATENCY_SIZES,
+    repeats: int = 20,
+    preset: Optional[PlatformPreset] = None,
+    conduit: Optional[str] = None,
+) -> Dict[int, float]:
+    """Median round-trip latency (µs) per message size.
+
+    Senders live on node 0 (threads ``0..P-1``), partners on node 1; all
+    pairs ping concurrently, so shared-connection serialization shows up
+    exactly as in Fig 4.2(a).
+    """
+    prog = _make_program(link_pairs, backend, preset, conduit)
+    pairs = link_pairs
+
+    def main(upc, size):
+        me = upc.MYTHREAD
+        yield from upc.barrier()
+        if me >= pairs:   # passive target side
+            return None
+        partner = pairs + me
+        samples = []
+        for _ in range(repeats):
+            t0 = upc.wtime()
+            yield from upc.memget(partner, size)  # request + response
+            samples.append(upc.wtime() - t0)
+        samples.sort()
+        return samples[len(samples) // 2]
+
+    results: Dict[int, float] = {}
+    for size in sizes:
+        prog = _make_program(link_pairs, backend, preset, conduit)
+        res = prog.run(main, size)
+        lat = max(r for r in res.returns if r is not None)
+        results[size] = lat * 1e6
+    return results
+
+
+def run_flood_bandwidth(
+    link_pairs: int = 1,
+    backend: str = "processes",
+    sizes: Sequence[int] = BANDWIDTH_SIZES,
+    messages: int = 32,
+    window: int = 8,
+    preset: Optional[PlatformPreset] = None,
+    conduit: Optional[str] = None,
+) -> Dict[int, float]:
+    """Aggregate unidirectional flood bandwidth (MB/s) per message size.
+
+    Each sender keeps ``window`` non-blocking puts in flight (the flood
+    idiom), so a single pair saturates its connection while multiple
+    pairs contend for the NIC.
+    """
+    pairs = link_pairs
+
+    def main(upc, size):
+        me = upc.MYTHREAD
+        yield from upc.barrier()
+        if me >= pairs:
+            return None
+        partner = pairs + me
+        t0 = upc.wtime()
+        in_flight: List = []
+        for _ in range(messages):
+            if len(in_flight) >= window:
+                yield from in_flight.pop(0).wait()
+            in_flight.append(upc.memput_nb(partner, size))
+        for h in in_flight:
+            yield from h.wait()
+        return upc.wtime() - t0
+
+    results: Dict[int, float] = {}
+    for size in sizes:
+        prog = _make_program(link_pairs, backend, preset, conduit)
+        res = prog.run(main, size)
+        elapsed = max(r for r in res.returns if r is not None)
+        total_bytes = pairs * messages * size
+        results[size] = total_bytes / elapsed / 1e6
+    return results
+
+
+def sweep_multilink(
+    pair_counts: Sequence[int] = (1, 2, 4, 8),
+    backends: Sequence[str] = ("processes", "pthreads"),
+    latency_sizes: Sequence[int] = LATENCY_SIZES,
+    bandwidth_sizes: Sequence[int] = BANDWIDTH_SIZES,
+    preset: Optional[PlatformPreset] = None,
+    conduit: Optional[str] = None,
+) -> Dict:
+    """The full Fig 4.2 sweep: both panels, both backends, 1–8 pairs.
+
+    The 1-link series is backend-independent (a single thread per node),
+    so it is reported once, as in the figure.
+    """
+    latency: Dict[tuple, Dict[int, float]] = {}
+    bandwidth: Dict[tuple, Dict[int, float]] = {}
+    for backend in backends:
+        for pairs in pair_counts:
+            if pairs == 1 and backend != "processes":
+                continue
+            key = (pairs, backend if pairs > 1 else "single")
+            latency[key] = run_roundtrip_latency(
+                pairs, backend, sizes=latency_sizes, preset=preset, conduit=conduit
+            )
+            bandwidth[key] = run_flood_bandwidth(
+                pairs, backend, sizes=bandwidth_sizes, preset=preset, conduit=conduit
+            )
+    return {"latency_us": latency, "bandwidth_mbs": bandwidth}

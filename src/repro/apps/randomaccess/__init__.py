@@ -1,0 +1,14 @@
+"""HPC Challenge RandomAccess (GUPS) with thread-group aggregation.
+
+§4.4 names Random Access, beside UTS, as an application where the
+*thread-group* approach fits: it has a single level of parallelism, and
+its fine-grained scattered updates benefit from hardware-aware grouping.
+Each thread fires XOR updates at uniformly random locations of a global
+table; the classic optimization buckets updates per destination and
+flushes them in batches — and with thread groups, intra-group updates go
+through privatized pointers while only remote buckets cross the network.
+"""
+
+from repro.apps.randomaccess.gups import GupsConfig, run_gups
+
+__all__ = ["GupsConfig", "run_gups"]

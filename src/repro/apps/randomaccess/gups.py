@@ -1,0 +1,184 @@
+"""The GUPS driver: fine-grained vs bucketed vs group-aware updates.
+
+Three variants over a cyclically-distributed table of 64-bit words:
+
+* ``fine-grained`` — every update is an individual remote access through
+  a pointer-to-shared: one translation plus (for remote owners) one tiny
+  network round per update.  The canonical PGAS worst case.
+* ``bucketed`` — updates are accumulated into per-destination buckets
+  and flushed as bulk puts once a bucket fills.
+* ``groups`` — bucketed, plus the Chapter-3 treatment: updates for
+  castable peers apply immediately through privatized pointers (no
+  bucket, no network), only genuinely remote buckets use the wire.
+
+The updates themselves are the HPCC XOR recurrence (a splittable stream
+per thread), applied for real so the final table is verifiable: XOR is
+commutative/associative, so any interleaving must produce the same
+table as a serial replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.machine.presets import PlatformPreset, lehman
+from repro.sim.rng import splitmix64
+from repro.upc import UpcProgram
+from repro.upc.groups import shared_memory_group
+
+__all__ = ["GupsConfig", "run_gups", "VARIANTS"]
+
+VARIANTS = ("fine-grained", "bucketed", "groups")
+
+_WORD = 8
+
+
+@dataclass(frozen=True)
+class GupsConfig:
+    """Knobs for one RandomAccess run."""
+
+    variant: str = "bucketed"
+    table_words: int = 1 << 16       #: global table size (power of two)
+    updates_per_thread: int = 4096
+    bucket_size: int = 64            #: updates per flushed bucket
+    charge_chunk: int = 256          #: fine-grained updates costed per charge
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}")
+        if self.table_words & (self.table_words - 1):
+            raise ValueError("table_words must be a power of two")
+        if self.bucket_size < 1 or self.charge_chunk < 1:
+            raise ValueError("bucket_size and charge_chunk must be >= 1")
+
+
+def _update_stream(thread: int, count: int, table_words: int):
+    """The per-thread update sequence: (index, value) pairs."""
+    state = (0x9E3779B97F4A7C15 * (thread + 1)) & ((1 << 64) - 1)
+    idx = np.empty(count, dtype=np.int64)
+    val = np.empty(count, dtype=np.uint64)
+    mask = table_words - 1
+    for i in range(count):
+        state, out = splitmix64(state)
+        idx[i] = out & mask
+        val[i] = out
+    return idx, val
+
+
+def _gups_main(upc, cfg: GupsConfig, table: np.ndarray, received: Dict[int, int]):
+    me, T = upc.MYTHREAD, upc.THREADS
+    group = yield from shared_memory_group(upc)
+    local_set = set(group.members)
+    idx, val = _update_stream(me, cfg.updates_per_thread, cfg.table_words)
+    yield from upc.barrier()
+    t0 = upc.wtime()
+
+    if cfg.variant == "fine-grained":
+        owners = idx % T
+        # data plane: apply everything (XOR is order-independent)
+        np.bitwise_xor.at(table, idx, val)
+        # cost plane: per-update translation + element traffic, charged
+        # in chunks to keep the event count sane
+        remote = 0
+        for start in range(0, len(idx), cfg.charge_chunk):
+            chunk_owners = owners[start:start + cfg.charge_chunk]
+            n = len(chunk_owners)
+            yield from upc.charge_shared_accesses(2 * n)  # read + write
+            for owner_arr, count in zip(*np.unique(chunk_owners, return_counts=True)):
+                owner = int(owner_arr)
+                if owner == me:
+                    yield from upc.local_stream(count * _WORD, count * _WORD)
+                elif owner in local_set:
+                    yield from upc.stream_from(owner, count * _WORD, count * _WORD)
+                else:
+                    remote += int(count)
+                    # read-modify-write: a get then a put per update
+                    yield from upc.memget(owner, _WORD)
+                    yield from upc.memput(owner, _WORD)
+        upc.stats.count("gups.remote_updates", remote)
+    else:
+        use_groups = cfg.variant == "groups"
+        np.bitwise_xor.at(table, idx, val)
+        owners = idx % T
+        buckets: Dict[int, int] = {}
+
+        def flush(owner: int, count: int):
+            yield from upc.memput(owner, count * 2 * _WORD)  # index+value
+            received[owner] = received.get(owner, 0) + count
+            upc.stats.count("gups.bucket_flushes")
+
+        for start in range(0, len(idx), cfg.charge_chunk):
+            chunk_owners = owners[start:start + cfg.charge_chunk]
+            local_words = 0
+            for owner_arr, count in zip(*np.unique(chunk_owners, return_counts=True)):
+                owner, count = int(owner_arr), int(count)
+                if owner == me or (use_groups and owner in local_set):
+                    local_words += count
+                    continue
+                buckets[owner] = buckets.get(owner, 0) + count
+                if buckets[owner] >= cfg.bucket_size:
+                    yield from flush(owner, buckets.pop(owner))
+            if local_words:
+                # immediate load/store updates (privatized for group peers)
+                yield from upc.local_stream(local_words * _WORD, local_words * _WORD)
+        for owner, count in buckets.items():
+            yield from flush(owner, count)
+        # Each owner applies the buckets it received: read the (index,
+        # value) pairs, read-modify-write its table words.
+        yield from upc.barrier()
+        mine = received.get(me, 0)
+        if mine:
+            yield from upc.local_stream(mine * 3 * _WORD, mine * _WORD)
+
+    yield from upc.barrier()
+    return upc.wtime() - t0
+
+
+def run_gups(
+    variant: str = "bucketed",
+    preset: Optional[PlatformPreset] = None,
+    threads: int = 8,
+    threads_per_node: int = 4,
+    conduit: Optional[str] = None,
+    config: Optional[GupsConfig] = None,
+    verify: bool = True,
+) -> Dict:
+    """Run RandomAccess; returns GUPS and update statistics.
+
+    With ``verify`` the final table is checked against a serial replay of
+    all threads' update streams.
+    """
+    cfg = config or GupsConfig(variant=variant)
+    nodes_needed = -(-threads // threads_per_node)
+    preset = preset or lehman(nodes=max(nodes_needed, 1))
+    prog = UpcProgram(
+        preset, threads=threads, threads_per_node=threads_per_node,
+        conduit=conduit, binding="compact",
+    )
+    table = np.zeros(cfg.table_words, dtype=np.uint64)
+    received: Dict[int, int] = {}
+    res = prog.run(_gups_main, cfg, table, received)
+
+    if verify:
+        expected = np.zeros(cfg.table_words, dtype=np.uint64)
+        for t in range(threads):
+            idx, val = _update_stream(t, cfg.updates_per_thread, cfg.table_words)
+            np.bitwise_xor.at(expected, idx, val)
+        if not np.array_equal(table, expected):
+            raise AssertionError("GUPS table mismatch: updates lost or doubled")
+
+    elapsed = max(res.returns)
+    total_updates = threads * cfg.updates_per_thread
+    return {
+        "variant": cfg.variant,
+        "threads": threads,
+        "elapsed_s": elapsed,
+        "gups": total_updates / elapsed / 1e9,
+        "updates": total_updates,
+        "bucket_flushes": res.stats.get_count("gups.bucket_flushes"),
+        "remote_updates": res.stats.get_count("gups.remote_updates"),
+        "verified": verify,
+    }

@@ -1,0 +1,13 @@
+"""STREAM triad benchmarks.
+
+* :mod:`~repro.apps.stream.twisted` — the odd-even-exchange ("twisted")
+  triad of §3.3.1 that exposes shared-pointer translation cost
+  (Table 3.1).
+* :mod:`~repro.apps.stream.hybrid` — the UPC×OpenMP placement study of
+  §4.3.2 (Table 4.1).
+"""
+
+from repro.apps.stream.twisted import TWISTED_VARIANTS, run_twisted
+from repro.apps.stream.hybrid import run_hybrid_stream, run_pure
+
+__all__ = ["TWISTED_VARIANTS", "run_twisted", "run_hybrid_stream", "run_pure"]

@@ -1,0 +1,112 @@
+"""The twisted STREAM triad (§3.3.1, Table 3.1).
+
+Arrays ``a``, ``b``, ``c`` are evenly distributed; during TRIAD every
+thread computes ``c[j] = a[j] + alpha * b[j]`` over its *odd-even
+neighbour's* elements of ``a`` and ``b`` (even ranks read the odd
+neighbour's data and vice versa) while writing its own part of ``c``.
+On one SMP node the neighbour's memory is physically reachable, so:
+
+* ``upc-baseline`` — every access goes through a pointer-to-shared and
+  pays address translation (the UPC-to-C translator output confirms one
+  translation per access);
+* ``upc-relocalization`` — without castability, the classic fix: bulk
+  ``upc_memget`` the neighbour's ``a``/``b`` into private buffers, then
+  run a purely local triad (extra traffic, no per-element translation);
+* ``upc-cast`` — privatize the neighbour's base pointer once
+  (``bupc_cast``) and run the triad through plain local pointers;
+* ``openmp`` — the shared-memory reference: all accesses are plain
+  load/stores against first-touch-local data.
+
+Per-element accounting (8-byte doubles): 16 B read + 8 B written, plus
+three shared-pointer translations in the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.presets import PlatformPreset, lehman
+from repro.upc import UpcProgram
+
+__all__ = ["TWISTED_VARIANTS", "run_twisted"]
+
+TWISTED_VARIANTS = (
+    "upc-baseline",
+    "upc-relocalization",
+    "upc-cast",
+    "openmp",
+)
+
+_ELEM = 8          # double
+_READS = 2 * _ELEM
+_WRITES = _ELEM
+_TRIAD_BYTES = _READS + _WRITES  # STREAM's reported bytes per element
+
+
+def _neighbour(mythread: int, threads: int) -> int:
+    """Odd-even exchange partner (last thread pairs with itself if odd count)."""
+    partner = mythread + 1 if mythread % 2 == 0 else mythread - 1
+    return partner if partner < threads else mythread
+
+def _triad_main(upc, variant: str, n: int, chunks: int):
+    neigh = _neighbour(upc.MYTHREAD, upc.THREADS)
+    yield from upc.barrier()
+    t0 = upc.wtime()
+    per_chunk = n // chunks
+    for c in range(chunks):
+        m = per_chunk if c < chunks - 1 else n - per_chunk * (chunks - 1)
+        if variant == "upc-baseline":
+            # reads via pointer-to-shared into the neighbour's segment,
+            # writes via pointer-to-shared into mine: 3 translations/elem
+            yield from upc.charge_shared_accesses(3 * m)
+            yield from upc.stream_from(neigh, m * _READS, 0)
+            yield from upc.local_stream(0, m * _WRITES)
+        elif variant == "upc-relocalization":
+            # bulk-copy a and b from the neighbour into private buffers...
+            yield from upc.memget(neigh, m * _READS)
+            # ...then a fully local triad over the relocated data
+            yield from upc.local_stream(m * _READS, m * _WRITES)
+        elif variant == "upc-cast":
+            # privatized pointers: same traffic as baseline, no translation
+            yield from upc.stream_from(neigh, m * _READS, 0)
+            yield from upc.local_stream(0, m * _WRITES)
+        elif variant == "openmp":
+            # shared-memory model: plain loads/stores, first-touch local
+            yield from upc.local_stream(m * _READS, m * _WRITES)
+        else:
+            raise ValueError(f"unknown variant {variant!r}")
+    yield from upc.barrier()
+    return upc.wtime() - t0
+
+
+def run_twisted(
+    variant: str,
+    preset: Optional[PlatformPreset] = None,
+    threads: int = 8,
+    elements_per_thread: int = 2_000_000,
+    chunks: int = 8,
+) -> dict:
+    """Run one Table 3.1 variant on a single node; returns metrics.
+
+    ``chunks`` splits the loop so concurrent threads genuinely contend in
+    the processor-sharing memory model rather than issuing one monolithic
+    transfer each.
+    """
+    if variant not in TWISTED_VARIANTS:
+        raise ValueError(f"variant must be one of {TWISTED_VARIANTS}")
+    preset = preset or lehman(nodes=1)
+    prog = UpcProgram(
+        preset,
+        threads=threads,
+        threads_per_node=threads,
+        binding="compact",
+    )
+    res = prog.run(_triad_main, variant, elements_per_thread, chunks)
+    elapsed = max(res.returns)
+    total_bytes = threads * elements_per_thread * _TRIAD_BYTES
+    return {
+        "variant": variant,
+        "threads": threads,
+        "elapsed_s": elapsed,
+        "throughput_gbs": total_bytes / elapsed / 1e9,
+    }

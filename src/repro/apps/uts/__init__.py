@@ -1,0 +1,30 @@
+"""The Unbalanced Tree Search benchmark (§3.3.2).
+
+UTS counts the nodes of an implicitly defined random tree whose shape is
+a pure function of a splittable RNG — highly unbalanced, so exhaustive
+traversal requires dynamic load balancing.  The UPC implementation keeps
+a steal-stack per thread in shared memory and steals work under a lock.
+
+Three policy variants reproduce Fig 3.3 / Table 3.2:
+
+* ``baseline`` — uniform random victim selection (Prins et al.);
+* ``local`` — the thesis's locality-conscious stealing: discover and
+  steal from shared-memory group peers first, fall back to remote
+  victims (Fig 3.2's state machine);
+* ``local+diffusion`` — additionally steal *half* of a well-stocked
+  victim's work (rapid diffusion), turning big remote steals into local
+  work sources and fixing local starvation.
+"""
+
+from repro.apps.uts.tree import TreeParams, count_tree, expand, paper_tree, small_tree
+from repro.apps.uts.driver import UtsConfig, run_uts
+
+__all__ = [
+    "TreeParams",
+    "UtsConfig",
+    "count_tree",
+    "expand",
+    "paper_tree",
+    "run_uts",
+    "small_tree",
+]

@@ -1,0 +1,242 @@
+"""The UTS work-stealing driver (Fig 3.2's state machine).
+
+Each UPC thread loops: **work** (depth-first expansion of its own
+steal-stack, charged per node), then on exhaustion **work discovery** and
+**stealing** — locally first under the locality-conscious policies, then
+remotely — and finally **idle** until either new work is released
+somewhere or global termination is detected (all threads idle, all
+stacks empty, nothing in transit).
+
+Costs charged per the thesis's implementation:
+
+* node expansion — ``node_work`` seconds each (the SHA-1 evaluation);
+* victim *discovery* — a cache-coherent metadata read for castable peers
+  (through the pre-built pointer table), a remote 8-byte ``upc_memget``
+  otherwise;
+* *stealing* — the victim's stack lock (an AM round to its affinity
+  thread), the chunk transfer (privatized memcpy inside the supernode,
+  network get across nodes), and the unlock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.apps.uts.stealstack import NODE_BYTES, StealStack
+from repro.apps.uts.tree import TreeParams, count_tree, expand, root_node
+from repro.machine.presets import PlatformPreset, pyramid
+from repro.sim import Condition
+from repro.upc import UpcProgram
+from repro.upc.groups import shared_memory_group
+
+__all__ = ["UtsConfig", "run_uts", "POLICIES"]
+
+POLICIES = ("baseline", "local", "local+diffusion")
+
+
+@dataclass(frozen=True)
+class UtsConfig:
+    """Policy and cost knobs for one UTS run."""
+
+    policy: str = "baseline"
+    steal_chunk: int = 8            #: nodes per steal (paper: 8 IB / 20 Eth)
+    diffusion_chunks: int = 4       #: steal half when victim has >= this many chunks
+    process_chunk: int = 64         #: owner-side nodes expanded per charge
+    node_work: float = 0.55e-6      #: seconds per node expansion
+    max_remote_checks: int = 4      #: remote victims probed per failed round
+    verify: bool = True             #: check the count against a sequential pass
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}")
+        if self.steal_chunk < 1 or self.process_chunk < 1:
+            raise ValueError("chunk sizes must be >= 1")
+
+
+class _Global:
+    """Cross-thread coordination (lives outside the simulated data plane)."""
+
+    def __init__(self, sim, nthreads: int):
+        self.idle: set = set()
+        self.in_transit = 0
+        self.finished = False
+        self.work_cond = Condition(sim, name="uts.work")
+        self.done_cond = Condition(sim, name="uts.done")
+
+
+def _worker(upc, cfg: UtsConfig, params: TreeParams,
+            stacks: List[StealStack], glob: _Global):
+    me = upc.MYTHREAD
+    ss = stacks[me]
+    group = yield from shared_memory_group(upc)
+    local_set = set(group.members)
+    if me == 0:
+        ss.push([root_node(params)])
+    yield from upc.barrier()
+    t0 = upc.wtime()
+
+    while True:
+        # -- WORK: depth-first on the local stack --------------------
+        while len(ss):
+            chunk = ss.pop_chunk(cfg.process_chunk)
+            children: list = []
+            for node in chunk:
+                children.extend(expand(params, node))
+            ss.push(children)
+            ss.nodes_processed += len(chunk)
+            yield from upc.compute(len(chunk) * cfg.node_work)
+            if glob.idle and ss.available_to_steal > 0:
+                glob.work_cond.notify_all()
+
+        # -- WORK DISCOVERY + STEALING -------------------------------
+        found = yield from _steal_round(upc, cfg, stacks, glob, local_set)
+        if found:
+            continue
+
+        # -- IDLE / termination detection -----------------------------
+        glob.idle.add(me)
+        total_left = sum(len(s) for s in stacks) + glob.in_transit
+        if total_left > 0:
+            glob.idle.discard(me)
+            continue  # missed-wakeup guard: work exists, go steal again
+        if len(glob.idle) == upc.THREADS:
+            glob.finished = True
+            glob.done_cond.notify_all()
+            break
+        yield upc.sim.any_of([glob.done_cond.wait(), glob.work_cond.wait()])
+        if glob.finished:
+            break
+        glob.idle.discard(me)
+
+    elapsed = upc.wtime() - t0
+    return {
+        "thread": me,
+        "elapsed": elapsed,
+        "processed": ss.nodes_processed,
+    }
+
+
+def _steal_round(upc, cfg: UtsConfig, stacks: List[StealStack],
+                 glob: _Global, local_set: set):
+    """One pass of the Fig 3.2 discovery/steal state machine.
+
+    Returns True when work landed on our stack.
+    """
+    me = upc.MYTHREAD
+    if cfg.policy == "baseline":
+        victims = [t for t in range(upc.THREADS) if t != me]
+        upc.rng.shuffle(victims)
+        # random selection probes a bounded sample before giving up,
+        # as in the reference implementation
+        phases = [victims[:cfg.max_remote_checks]]
+    else:
+        # local discovery scans the whole (cheap, castable) neighbourhood;
+        # remote discovery probes a bounded random sample
+        local = [t for t in local_set if t != me]
+        remote = [t for t in range(upc.THREADS) if t not in local_set]
+        upc.rng.shuffle(local)
+        upc.rng.shuffle(remote)
+        phases = [local, remote[:cfg.max_remote_checks]]
+
+    for victims in phases:
+        for v in victims:
+            ss_v = stacks[v]
+            stacks[me].steals_attempted += 1
+            # discovery: read the victim's stack metadata
+            if upc.can_cast(v):
+                yield from upc.compute(upc.gasnet.backend.shm_roundtrip)
+            else:
+                yield from upc.memget(v, 8)
+            if ss_v.available_to_steal < cfg.steal_chunk:
+                continue
+            # steal under the victim's stack lock
+            lock = upc.lock(("uts", v), affinity_thread=v)
+            yield from lock.acquire(upc)
+            avail = ss_v.available_to_steal  # re-check under the lock
+            if avail < cfg.steal_chunk:
+                yield from lock.release(upc)
+                continue
+            if (cfg.policy == "local+diffusion"
+                    and avail >= cfg.diffusion_chunks * cfg.steal_chunk):
+                take = avail // 2
+            else:
+                take = cfg.steal_chunk
+            nodes = ss_v.steal_from_tail(take)
+            glob.in_transit += len(nodes)
+            nbytes = len(nodes) * NODE_BYTES
+            yield from upc.memget(v, nbytes, privatized=upc.can_cast(v))
+            yield from lock.release(upc)
+            stacks[me].push(nodes)
+            glob.in_transit -= len(nodes)
+            stacks[me].steals_successful += 1
+            kind = "local" if v in local_set else "remote"
+            upc.stats.count(f"uts.steal_{kind}")
+            upc.stats.count("uts.nodes_stolen", len(nodes))
+            if glob.idle and stacks[me].available_to_steal > 0:
+                glob.work_cond.notify_all()
+            return True
+    return False
+
+
+def run_uts(
+    policy: str = "baseline",
+    tree: Optional[TreeParams] = None,
+    preset: Optional[PlatformPreset] = None,
+    threads: int = 8,
+    threads_per_node: int = 2,
+    conduit: Optional[str] = None,
+    steal_chunk: int = 8,
+    config: Optional[UtsConfig] = None,
+) -> Dict:
+    """Run UTS under one stealing policy; returns the run's metrics.
+
+    Node counts are verified against a sequential traversal unless
+    ``config.verify`` is off.
+    """
+    from repro.apps.uts.tree import small_tree
+
+    tree = tree or small_tree("small")
+    cfg = config or UtsConfig(policy=policy, steal_chunk=steal_chunk)
+    nodes_needed = -(-threads // threads_per_node)
+    preset = preset or pyramid(nodes=max(nodes_needed, 1))
+    prog = UpcProgram(
+        preset,
+        threads=threads,
+        threads_per_node=threads_per_node,
+        conduit=conduit,
+        binding="compact",
+        seed=tree.seed,
+    )
+    stacks = [StealStack(t, cfg.steal_chunk) for t in range(threads)]
+    glob = _Global(prog.sim, threads)
+    res = prog.run(_worker, cfg, tree, stacks, glob)
+
+    total = sum(r["processed"] for r in res.returns)
+    if cfg.verify:
+        expected, _depth = count_tree(tree)
+        if total != expected:
+            raise AssertionError(
+                f"UTS lost/duplicated work: processed {total}, tree has {expected}"
+            )
+    elapsed = max(r["elapsed"] for r in res.returns)
+    local = res.stats.get_count("uts.steal_local")
+    remote = res.stats.get_count("uts.steal_remote")
+    steals = local + remote
+    return {
+        "policy": cfg.policy,
+        "threads": threads,
+        "threads_per_node": threads_per_node,
+        "conduit": conduit or preset.default_conduit,
+        "tree_nodes": total,
+        "elapsed_s": elapsed,
+        "mnodes_per_s": total / elapsed / 1e6,
+        "steals": steals,
+        "steals_local": local,
+        "steals_remote": remote,
+        "pct_local_steals": 100.0 * local / steals if steals else 0.0,
+        "nodes_stolen": res.stats.get_count("uts.nodes_stolen"),
+        "avg_steal_size": (
+            res.stats.get_count("uts.nodes_stolen") / steals if steals else 0.0
+        ),
+    }

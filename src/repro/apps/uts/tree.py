@@ -1,0 +1,131 @@
+"""UTS tree definition: implicit random trees over a splittable RNG.
+
+A tree node is ``(rng, depth)``; its child count is a deterministic
+function of the node's RNG draw, and child *i*'s RNG is ``rng.child(i)``.
+Two standard shapes:
+
+* **binomial** — the root has ``b0`` children; every other node has ``m``
+  children with probability ``q`` and none otherwise.  With ``q·m ≈ 1``
+  the process is critical and trees are deeply unbalanced — the shape the
+  thesis benchmarks (4.1 M nodes).
+* **geometric** — branching factor drawn geometrically with mean ``b0``,
+  cut off at ``max_depth``.
+
+The reference UTS uses SHA-1 for splitting; ``algorithm="mix"`` swaps in
+splitmix64 for speed at identical shape statistics (see
+:mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.sim.rng import SplittableRNG
+
+__all__ = ["TreeParams", "Node", "root_node", "expand", "count_tree",
+           "paper_tree", "small_tree"]
+
+
+@dataclass(frozen=True)
+class TreeParams:
+    """Shape parameters of one UTS tree."""
+
+    kind: str = "binomial"
+    b0: int = 2000          #: root branching factor
+    q: float = 0.124875     #: binomial: P(node has children)
+    m: int = 8              #: binomial: children when it has any
+    max_depth: int = 10     #: geometric: depth cutoff
+    seed: int = 19          #: RNG root seed
+    algorithm: str = "mix"  #: "sha1" (reference) or "mix" (fast)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("binomial", "geometric"):
+            raise ValueError(f"unknown tree kind {self.kind!r}")
+        if not 0.0 <= self.q <= 1.0:
+            raise ValueError(f"q must be in [0,1], got {self.q}")
+        if self.b0 < 0 or self.m < 0:
+            raise ValueError("b0 and m must be non-negative")
+
+
+#: A tree node: (rng, depth).
+Node = Tuple[SplittableRNG, int]
+
+
+def root_node(params: TreeParams) -> Node:
+    return (SplittableRNG(seed=params.seed, algorithm=params.algorithm), 0)
+
+
+def _num_children(params: TreeParams, rng: SplittableRNG, depth: int) -> int:
+    if params.kind == "binomial":
+        if depth == 0:
+            return params.b0
+        return params.m if rng.random() < params.q else 0
+    # geometric: branching drawn so the mean is b0 at the root, decaying
+    # with depth; standard UTS "fixed" geometric uses a depth cutoff.
+    if depth >= params.max_depth:
+        return 0
+    u = rng.random()
+    # geometric with success prob p = 1/(1+b0): mean b0
+    import math
+
+    p = 1.0 / (1.0 + params.b0)
+    k = int(math.log(max(u, 1e-300)) / math.log(1.0 - p))
+    return min(k, params.b0 * 4)
+
+
+def expand(params: TreeParams, node: Node) -> List[Node]:
+    """Children of ``node`` (deterministic)."""
+    rng, depth = node
+    # Child-count draw uses a dedicated child stream so that expanding a
+    # node never perturbs the RNG states handed to its children.
+    n = _num_children(params, rng.child(-1), depth)
+    return [(rng.child(i), depth + 1) for i in range(n)]
+
+
+def count_tree(params: TreeParams, limit: Optional[int] = None) -> Tuple[int, int]:
+    """Sequential traversal: returns ``(total_nodes, max_depth)``.
+
+    ``limit`` aborts counting beyond that many nodes (guards against
+    parameter choices with runaway supercritical growth).
+    """
+    stack = [root_node(params)]
+    count = 0
+    max_depth = 0
+    while stack:
+        node = stack.pop()
+        count += 1
+        max_depth = max(max_depth, node[1])
+        if limit is not None and count > limit:
+            raise RuntimeError(f"tree exceeds limit of {limit} nodes")
+        stack.extend(expand(params, node))
+    return count, max_depth
+
+
+def paper_tree(algorithm: str = "mix", seed: int = 42) -> TreeParams:
+    """A binomial tree in the thesis's size class (~4.1 million nodes).
+
+    With the default fast hash and seed 42 the tree has exactly
+    4,330,977 nodes (max depth 1388) — the thesis's binomial tree had
+    "total 4.1 million nodes".  Counts depend on seed and hash.
+    """
+    return TreeParams(kind="binomial", b0=2000, q=0.124875, m=8,
+                      seed=seed, algorithm=algorithm)
+
+
+def small_tree(target: str = "medium", algorithm: str = "mix") -> TreeParams:
+    """Scaled-down binomial trees for tests and quick benchmarks.
+
+    ``target`` in {"tiny", "small", "medium", "large"} — roughly 2k, 20k,
+    120k and 500k nodes with the default seeds.
+    """
+    presets = {
+        "tiny": TreeParams(b0=40, q=0.120, m=8, seed=101, algorithm=algorithm),
+        "small": TreeParams(b0=200, q=0.122, m=8, seed=7, algorithm=algorithm),
+        "medium": TreeParams(b0=700, q=0.1243, m=8, seed=11, algorithm=algorithm),
+        "large": TreeParams(b0=1500, q=0.12465, m=8, seed=3, algorithm=algorithm),
+    }
+    try:
+        return presets[target]
+    except KeyError:
+        raise ValueError(f"unknown size target {target!r}") from None

@@ -1,0 +1,47 @@
+"""Exception hierarchy shared across repro subsystems.
+
+Kernel-level errors live in :mod:`repro.sim.engine`
+(:class:`~repro.sim.engine.SimulationError`); everything above the kernel
+raises one of the classes below so callers can catch per-layer.
+"""
+
+from repro.sim.engine import SimulationError
+
+__all__ = [
+    "SimulationError",
+    "TopologyError",
+    "NetworkError",
+    "GasnetError",
+    "UpcError",
+    "AffinityError",
+    "SubthreadError",
+    "MpiError",
+]
+
+
+class TopologyError(SimulationError):
+    """Invalid machine topology or topology query."""
+
+
+class AffinityError(TopologyError):
+    """Invalid thread/process binding request."""
+
+
+class NetworkError(SimulationError):
+    """Fabric-level error (unknown endpoint, bad route, ...)."""
+
+
+class GasnetError(SimulationError):
+    """GASNet-layer error (bad segment address, team misuse, ...)."""
+
+
+class UpcError(SimulationError):
+    """UPC-runtime error (bad shared pointer, affinity violation, ...)."""
+
+
+class SubthreadError(SimulationError):
+    """Sub-thread runtime error (thread-safety violation, pool misuse)."""
+
+
+class MpiError(SimulationError):
+    """MPI-layer error (unmatched receive, communicator misuse, ...)."""

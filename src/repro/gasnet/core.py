@@ -1,0 +1,249 @@
+"""GASNet core: thread attachment, backends, segments, AM rounds.
+
+A :class:`GasnetRuntime` binds a set of UPC threads (each with a node, a
+processing unit, and an owning OS process) to the fabric and the memory
+system.  The *backend* determines two things the whole thesis turns on:
+
+* **connection sharing** — process-per-thread backends give every thread
+  its own network connection; pthreads backends make all threads of a
+  process share one (§4.3.1's processes-vs-pthreads trade-off);
+* **shared-memory reach** — threads in one process always share memory;
+  with PSHM enabled the reach extends to the whole node (§3.1), letting
+  intra-node put/get bypass the network API entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro.errors import GasnetError
+from repro.gasnet.pshm import discover_supernodes
+from repro.machine.memory import MemorySystem
+from repro.machine.topology import MachineTopology
+from repro.network.fabric import Fabric
+from repro.network.model import NetworkParams
+from repro.sim import Simulator, StatsCollector
+
+__all__ = ["ThreadLocation", "BackendConfig", "GasnetRuntime"]
+
+
+@dataclass(frozen=True)
+class ThreadLocation:
+    """Where one UPC thread lives."""
+
+    thread_id: int
+    node: int
+    pu: int
+    process_id: int
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """Backend mode plus the software-overhead calibration constants.
+
+    ``mode`` is ``"processes"`` (one OS process per UPC thread) or
+    ``"pthreads"`` (threads grouped into processes); ``pshm`` additionally
+    cross-maps segments node-wide.  The overhead constants:
+
+    * ``op_overhead`` — fixed software cost of one ``upc_mem*`` runtime
+      call (dispatch, shared-pointer argument handling).
+    * ``bypass_overhead`` — extra segment-lookup cost on the PSHM /
+      pthreads shared-memory fast path.
+    * ``shm_roundtrip`` — one cache-coherent atomic round (lock attempts,
+      flag polling) between threads that share memory.
+    * ``am_handler_time`` — CPU time an active-message handler occupies
+      on the target core.
+    """
+
+    mode: str = "processes"
+    pshm: bool = True
+    op_overhead: float = 0.20e-6
+    bypass_overhead: float = 0.05e-6
+    shm_roundtrip: float = 0.20e-6
+    am_handler_time: float = 0.30e-6
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("processes", "pthreads"):
+            raise GasnetError(f"unknown backend mode {self.mode!r}")
+
+    @property
+    def label(self) -> str:
+        return f"{self.mode}{'+pshm' if self.pshm else ''}"
+
+
+class GasnetRuntime:
+    """The communication runtime for one simulated job."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topo: MachineTopology,
+        mem: MemorySystem,
+        net_params: NetworkParams,
+        locations: Sequence[ThreadLocation],
+        backend: Optional[BackendConfig] = None,
+        stats: Optional[StatsCollector] = None,
+    ):
+        self.sim = sim
+        self.topo = topo
+        self.mem = mem
+        self.backend = backend or BackendConfig()
+        self.stats = stats if stats is not None else StatsCollector(sim)
+        self.fabric = Fabric(sim, topo, net_params, stats=self.stats)
+        self.locations: List[ThreadLocation] = list(locations)
+        if [loc.thread_id for loc in self.locations] != list(range(len(self.locations))):
+            raise GasnetError("thread ids must be dense 0..n-1 in order")
+        for loc in self.locations:
+            if self.topo.pu(loc.pu).node_index != loc.node:
+                raise GasnetError(
+                    f"thread {loc.thread_id}: PU {loc.pu} is not on node {loc.node}"
+                )
+            self.fabric.register_endpoint(
+                loc.thread_id, loc.node, connection_key=("proc", loc.process_id)
+            )
+        self._supernodes = discover_supernodes(
+            [loc.node for loc in self.locations],
+            [loc.process_id for loc in self.locations],
+            pshm=self.backend.pshm,
+        )
+        self._supernode_of: Dict[int, int] = {}
+        for gi, group in enumerate(self._supernodes):
+            for t in group:
+                self._supernode_of[t] = gi
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def nthreads(self) -> int:
+        return len(self.locations)
+
+    def location(self, thread_id: int) -> ThreadLocation:
+        try:
+            return self.locations[thread_id]
+        except IndexError:
+            raise GasnetError(f"unknown thread {thread_id}") from None
+
+    def segment_socket(self, thread_id: int) -> int:
+        """Socket holding a thread's shared segment (first-touch: its PU's)."""
+        return self.topo.pu(self.location(thread_id).pu).socket_index
+
+    def supernodes(self) -> List[tuple]:
+        return list(self._supernodes)
+
+    def supernode_peers(self, thread_id: int) -> tuple:
+        """Threads whose memory ``thread_id`` can reach via load/store
+        (including itself) — the castability query of §3.2.1."""
+        self.location(thread_id)
+        return self._supernodes[self._supernode_of[thread_id]]
+
+    def can_bypass(self, src_thread: int, dst_thread: int) -> bool:
+        """True when src can move data to/from dst's segment by memcpy."""
+        self.location(src_thread)
+        self.location(dst_thread)
+        return self._supernode_of[src_thread] == self._supernode_of[dst_thread]
+
+    # -- data movement ------------------------------------------------------
+
+    def xfer(
+        self,
+        src_thread: int,
+        dst_thread: int,
+        nbytes: float,
+        direction: str = "put",
+        privatized: bool = False,
+        initiator_pu: Optional[int] = None,
+    ) -> Generator:
+        """Move ``nbytes`` between src's and dst's segments (simulated).
+
+        ``direction`` is ``"put"`` (initiator writes remote) or ``"get"``
+        (initiator reads remote); the initiator is always ``src_thread``.
+        ``privatized=True`` models a user-cast local pointer: the runtime
+        call and segment lookup are skipped and the op is a plain memcpy
+        (only legal when ``can_bypass``).  ``initiator_pu`` redirects the
+        CPU-side costs to another core — how a *sub-thread* of the UPC
+        thread issues communication under THREAD_MULTIPLE.
+        """
+        if direction not in ("put", "get"):
+            raise GasnetError(f"bad direction {direction!r}")
+        src = self.location(src_thread)
+        if initiator_pu is None:
+            initiator_pu = src.pu
+        self.stats.count(f"gasnet.{direction}")
+        self.stats.add("gasnet.bytes", nbytes)
+
+        if privatized:
+            if not self.can_bypass(src_thread, dst_thread):
+                raise GasnetError(
+                    f"privatized access from {src_thread} to {dst_thread}: "
+                    "threads do not share memory"
+                )
+            yield from self._bypass_copy(
+                initiator_pu, src_thread, dst_thread, nbytes, direction,
+                overhead=0.0,
+            )
+            return
+
+        yield self.mem.compute(initiator_pu, self.backend.op_overhead)
+        if self.can_bypass(src_thread, dst_thread):
+            self.stats.count("gasnet.bypass")
+            yield from self._bypass_copy(
+                initiator_pu, src_thread, dst_thread, nbytes, direction,
+                overhead=self.backend.bypass_overhead,
+            )
+            return
+
+        yield self.mem.compute(initiator_pu, self.fabric.params.send_overhead)
+        if direction == "put":
+            yield from self.fabric.transmit(src_thread, dst_thread, nbytes)
+        else:
+            yield from self.fabric.fetch(src_thread, dst_thread, nbytes)
+
+    def _bypass_copy(
+        self,
+        pu: int,
+        src_thread: int,
+        dst_thread: int,
+        nbytes: float,
+        direction: str,
+        overhead: float,
+    ) -> Generator:
+        if overhead > 0:
+            yield self.mem.compute(pu, overhead)
+        local_socket = self.segment_socket(src_thread)
+        remote_socket = self.segment_socket(dst_thread)
+        if direction == "put":
+            src_sock, dst_sock = local_socket, remote_socket
+        else:
+            src_sock, dst_sock = remote_socket, local_socket
+        yield from self.mem.copy(pu, nbytes, src_sock, dst_sock)
+
+    # -- active messages -----------------------------------------------------
+
+    def am_roundtrip(
+        self,
+        src_thread: int,
+        dst_thread: int,
+        request_bytes: float = 64.0,
+        reply_bytes: float = 64.0,
+        handler_work: Optional[float] = None,
+    ) -> Generator:
+        """One request/reply active-message round (e.g. a lock attempt).
+
+        Between shared-memory threads this is a cache-coherent atomic
+        round; across the network it pays both message flights plus the
+        handler's CPU time on the target core.
+        """
+        src = self.location(src_thread)
+        dst = self.location(dst_thread)
+        if handler_work is None:
+            handler_work = self.backend.am_handler_time
+        self.stats.count("gasnet.am_roundtrips")
+        if self.can_bypass(src_thread, dst_thread):
+            yield self.mem.compute(src.pu, self.backend.shm_roundtrip)
+            return
+        yield self.mem.compute(src.pu, self.fabric.params.send_overhead)
+        yield from self.fabric.transmit(src_thread, dst_thread, request_bytes)
+        yield self.mem.compute(dst.pu, handler_work)
+        yield from self.fabric.transmit(dst_thread, src_thread, reply_bytes)
+        yield self.mem.compute(src.pu, self.fabric.params.recv_overhead)

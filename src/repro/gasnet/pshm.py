@@ -1,0 +1,52 @@
+"""Inter-Process SHared Memory (PSHM): supernode discovery.
+
+With PSHM enabled, GASNet cross-maps the shared-memory segments of all
+processes on a node (via ``mmap``) at startup; the set of UPC threads that
+can reach each other through plain loads and stores is called a
+*supernode* (§3.1).  Without PSHM, only threads inside one multi-threaded
+process (the pthreads backend) share memory.
+
+Discovery here is a pure function of the thread layout and backend flags,
+mirroring the initialization-time exchange the real runtime performs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import GasnetError
+
+__all__ = ["discover_supernodes"]
+
+
+def discover_supernodes(
+    node_of_thread: Sequence[int],
+    process_of_thread: Sequence[int],
+    pshm: bool,
+) -> List[tuple]:
+    """Partition threads into supernodes (maximal shared-memory groups).
+
+    Returns a list of tuples of thread ids; every thread appears in
+    exactly one group.  With ``pshm`` the groups are whole nodes; without
+    it they are processes.  Raises if a process spans nodes (impossible on
+    real hardware and a layout bug here).
+    """
+    if len(node_of_thread) != len(process_of_thread):
+        raise GasnetError(
+            f"layout size mismatch: {len(node_of_thread)} nodes vs "
+            f"{len(process_of_thread)} processes"
+        )
+    proc_node: Dict[int, int] = {}
+    for t, (node, proc) in enumerate(zip(node_of_thread, process_of_thread)):
+        if proc in proc_node and proc_node[proc] != node:
+            raise GasnetError(
+                f"process {proc} spans nodes {proc_node[proc]} and {node} "
+                f"(thread {t})"
+            )
+        proc_node[proc] = node
+
+    groups: Dict[object, list] = {}
+    for t, (node, proc) in enumerate(zip(node_of_thread, process_of_thread)):
+        key = node if pshm else proc
+        groups.setdefault(key, []).append(t)
+    return [tuple(members) for _key, members in sorted(groups.items(), key=lambda kv: kv[1][0])]

@@ -1,0 +1,120 @@
+"""GASNet teams: named thread subsets with their own barrier.
+
+The thesis cites the (then-unreleased) GASNet team extension as the
+natural substrate for UPC thread groups; here a :class:`Team` is an
+ordered subset of threads carrying a team barrier and split support.
+Collective *algorithms* (broadcast, exchange, reduce) live in
+:mod:`repro.upc.collectives` and take a team argument.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+from repro.errors import GasnetError
+from repro.sim import SimBarrier, Simulator
+
+__all__ = ["Team"]
+
+
+class Team:
+    """An ordered, immutable set of thread ids with a reusable barrier."""
+
+    _counter = 0
+
+    def __init__(self, sim: Simulator, members: Sequence[int], name: str = ""):
+        members = tuple(members)
+        if not members:
+            raise GasnetError("team needs at least one member")
+        if len(set(members)) != len(members):
+            raise GasnetError(f"duplicate members in team: {members}")
+        Team._counter += 1
+        self.sim = sim
+        self.members = members
+        self.name = name or f"team{Team._counter}"
+        self._rank_of = {t: i for i, t in enumerate(members)}
+        self._barrier = SimBarrier(sim, parties=len(members), name=f"{self.name}.bar")
+        self._op_counters = {t: 0 for t in members}
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, thread_id: int) -> bool:
+        return thread_id in self._rank_of
+
+    def rank(self, thread_id: int) -> int:
+        """Team-relative rank of a thread."""
+        try:
+            return self._rank_of[thread_id]
+        except KeyError:
+            raise GasnetError(
+                f"thread {thread_id} is not in team {self.name!r}"
+            ) from None
+
+    def thread_at(self, rank: int) -> int:
+        if not 0 <= rank < len(self.members):
+            raise GasnetError(f"rank {rank} out of range for team of {len(self)}")
+        return self.members[rank]
+
+    def op_tag(self, thread_id: int) -> str:
+        """Per-thread collective sequence tag.
+
+        SPMD members execute the same collective sequence, so the Nth
+        call on every member yields the same tag — giving collectives a
+        rendezvous namespace without global coordination.
+        """
+        n = self._op_counters[thread_id]
+        self._op_counters[thread_id] = n + 1
+        return f"{self.name}:op{n}"
+
+    def barrier(self, thread_id: int) -> Generator:
+        """Simulated generator: team barrier (all members must call)."""
+        self.rank(thread_id)  # membership check
+        yield self._barrier.arrive()
+
+    def split(self, thread_id: int, color: int, key: Optional[int] = None) -> "TeamSplit":
+        """Record a split request; see :meth:`TeamSplit.build` for assembly.
+
+        Real GASNet team splits are collective; in simulation the UPC
+        runtime assembles splits centrally, so this helper just validates
+        membership and returns a request token.
+        """
+        self.rank(thread_id)
+        return TeamSplit(self, thread_id, color, key if key is not None else thread_id)
+
+    @classmethod
+    def build_split(
+        cls, sim: Simulator, requests: Sequence["TeamSplit"]
+    ) -> dict[int, "Team"]:
+        """Assemble the child teams from one split request per member.
+
+        Returns ``{thread_id: child_team}``; members sharing a color end
+        up in one team, ordered by key.
+        """
+        if not requests:
+            raise GasnetError("no split requests")
+        parent = requests[0].parent
+        if {r.thread_id for r in requests} != set(parent.members):
+            raise GasnetError("split requests must cover the whole parent team")
+        by_color: dict[int, list] = {}
+        for r in requests:
+            if r.parent is not parent:
+                raise GasnetError("split requests from different parent teams")
+            by_color.setdefault(r.color, []).append(r)
+        result: dict[int, Team] = {}
+        for color, reqs in sorted(by_color.items()):
+            members = [r.thread_id for r in sorted(reqs, key=lambda r: (r.key, r.thread_id))]
+            team = cls(sim, members, name=f"{parent.name}/c{color}")
+            for t in members:
+                result[t] = team
+        return result
+
+
+class TeamSplit:
+    """A single member's split request (color/key pair)."""
+
+    def __init__(self, parent: Team, thread_id: int, color: int, key: int):
+        self.parent = parent
+        self.thread_id = thread_id
+        self.color = color
+        self.key = key

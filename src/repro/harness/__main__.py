@@ -1,0 +1,62 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro.harness --list
+    python -m repro.harness t3_1 t4_1
+    python -m repro.harness --all --scale quick --out results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.runner import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Regenerate the thesis's tables and figures on the "
+                    "simulated clusters.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (e.g. t3_1 f4_5)")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument("--scale", choices=("quick", "paper"), default="quick")
+    parser.add_argument("--out", help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for eid in EXPERIMENTS.ids():
+            exp = EXPERIMENTS.get(eid)
+            print(f"{eid:6s} {exp.title}")
+        return 0
+
+    ids = EXPERIMENTS.ids() if args.all else args.experiments
+    if not ids:
+        parser.error("no experiments given (use ids, --all, or --list)")
+
+    chunks = []
+    ok = True
+    for eid in ids:
+        t0 = time.time()
+        result = run_experiment(eid, scale=args.scale)
+        wall = time.time() - t0
+        chunk = result.render() + f"\n(wall time {wall:.1f}s)\n"
+        chunks.append(chunk)
+        print(chunk)
+        ok = ok and result.shape_ok
+    report = "\n".join(chunks)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"report written to {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""One experiment module per paper table/figure (see DESIGN.md §4)."""

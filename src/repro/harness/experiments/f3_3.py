@@ -1,0 +1,73 @@
+"""Fig 3.3 — Parallel scalability of UTS on 16 cluster nodes.
+
+Three policy variants over InfiniBand and Ethernet, 16→128 processors,
+throughput in millions of tree nodes per second.  Paper findings: the
+optimized variants consistently beat the baseline on both networks, the
+Ethernet gain is proportionally larger (up to ~2×), and throughput keeps
+rising to 128 processors.
+"""
+
+from __future__ import annotations
+
+from repro.apps.uts import paper_tree, run_uts, small_tree
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import Experiment
+from repro.machine.presets import pyramid
+
+_POLICIES = ("baseline", "local", "local+diffusion")
+
+
+def run(scale: str) -> ExperimentResult:
+    if scale == "paper":
+        tree = paper_tree()
+        thread_counts = (16, 32, 64, 128)
+        nodes = 16
+    else:
+        tree = small_tree("large")
+        thread_counts = (16, 32, 64)
+        nodes = 16
+    series: dict = {}
+    for conduit, chunk in (("ib-ddr", 8), ("gige", 20)):
+        for policy in _POLICIES:
+            key = f"{conduit}:{policy}"
+            series[key] = {}
+            for threads in thread_counts:
+                r = run_uts(policy, tree=tree, threads=threads,
+                            threads_per_node=max(1, threads // nodes),
+                            conduit=conduit, steal_chunk=chunk,
+                            preset=pyramid(nodes=nodes))
+                series[key][threads] = round(r["mnodes_per_s"], 1)
+    result = ExperimentResult(
+        experiment_id="f3_3",
+        title="Fig 3.3 - UTS parallel scalability (Mnodes/s)",
+        scale=scale,
+        series=series,
+        x_label="threads",
+        paper_values=[
+            "IB, 128 procs: baseline ~100+, optimized ~230 Mnodes/s",
+            "Ethernet gains up to 2x from the optimizations",
+            "optimized variants consistently outperform the baseline",
+        ],
+    )
+    fails = result.shape_failures
+    top = thread_counts[-1]
+    for conduit in ("ib-ddr", "gige"):
+        base = series[f"{conduit}:baseline"]
+        opt = series[f"{conduit}:local+diffusion"]
+        if opt[top] <= base[top]:
+            fails.append(f"{conduit}: optimized should beat baseline at {top}")
+        if opt[top] <= opt[thread_counts[0]]:
+            fails.append(f"{conduit}: optimized should scale {thread_counts[0]}"
+                         f"->{top}")
+    eth_ratio = (series["gige:local+diffusion"][top]
+                 / series["gige:baseline"][top])
+    ib_ratio = (series["ib-ddr:local+diffusion"][top]
+                / series["ib-ddr:baseline"][top])
+    if eth_ratio < 1.2:
+        fails.append(f"Ethernet gain {eth_ratio:.2f}x too small (paper: up to 2x)")
+    if ib_ratio < 1.1:
+        fails.append(f"InfiniBand gain {ib_ratio:.2f}x too small")
+    return result
+
+
+EXPERIMENT = Experiment("f3_3", "Fig 3.3 - UTS scalability", run)

@@ -1,0 +1,74 @@
+"""Fig 4.2 — Multi-link network microbenchmark.
+
+Two QDR-connected nodes, 1–8 link pairs, processes vs pthreads:
+round-trip latency (a) and unidirectional flood bandwidth (b).
+Paper findings: more pairs → more aggregate bandwidth (to the NIC limit)
+but also higher latency; pthread pairs (one shared connection) extract
+less bandwidth and their latency serializes.
+"""
+
+from __future__ import annotations
+
+from repro.apps.microbench import sweep_multilink
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import Experiment
+from repro.machine.presets import lehman
+
+
+def run(scale: str) -> ExperimentResult:
+    if scale == "paper":
+        pair_counts = (1, 2, 4, 8)
+        lat_sizes = tuple(1 << k for k in range(0, 16, 2))
+        bw_sizes = tuple(1 << k for k in range(6, 22, 2))
+    else:
+        pair_counts = (1, 2, 4)
+        lat_sizes = (8, 1 << 10, 16 << 10)
+        bw_sizes = (1 << 10, 64 << 10, 1 << 20)
+    out = sweep_multilink(
+        pair_counts=pair_counts,
+        latency_sizes=lat_sizes,
+        bandwidth_sizes=bw_sizes,
+        preset=lehman(nodes=2),
+    )
+    series = {}
+    for (pairs, backend), ys in out["latency_us"].items():
+        series[f"lat_us {pairs}-{backend}"] = {s: round(v, 2) for s, v in ys.items()}
+    for (pairs, backend), ys in out["bandwidth_mbs"].items():
+        series[f"bw_MB/s {pairs}-{backend}"] = {s: round(v) for s, v in ys.items()}
+    result = ExperimentResult(
+        experiment_id="f4_2",
+        title="Fig 4.2 - Multi-link latency and flood bandwidth",
+        scale=scale,
+        series=series,
+        x_label="bytes",
+        paper_values=[
+            "small-message round trip ~4 us; rises sharply past 1 KB",
+            "1 link floods ~1.4 GB/s; multiple process links reach ~2.4 GB/s",
+            "pthread link pairs extract less bandwidth; latency serializes",
+        ],
+    )
+    fails = result.shape_failures
+    lat1 = out["latency_us"][(1, "single")]
+    small = min(lat1)
+    if not 2.0 < lat1[small] < 8.0:
+        fails.append(f"1-link small-message RTT {lat1[small]:.1f} us outside 2-8")
+    bw1 = out["bandwidth_mbs"][(1, "single")]
+    big = max(bw1)
+    if not 1100 < bw1[big] < 1700:
+        fails.append(f"1-link flood {bw1[big]:.0f} MB/s outside 1100-1700")
+    biggest_pairs = pair_counts[-1]
+    bw_proc = out["bandwidth_mbs"][(biggest_pairs, "processes")][big]
+    bw_pthr = out["bandwidth_mbs"][(biggest_pairs, "pthreads")][big]
+    if bw_proc <= bw1[big] * 1.2:
+        fails.append("multiple process links should beat a single link")
+    if bw_pthr >= bw_proc:
+        fails.append("pthread pairs should extract less than process pairs")
+    lat_proc = out["latency_us"][(biggest_pairs, "processes")]
+    lat_pthr = out["latency_us"][(biggest_pairs, "pthreads")]
+    mid = max(lat_sizes)
+    if lat_pthr[mid] <= lat_proc[mid]:
+        fails.append("pthread latency should serialize above process latency")
+    return result
+
+
+EXPERIMENT = Experiment("f4_2", "Fig 4.2 - Multi-link microbenchmark", run)

@@ -1,0 +1,40 @@
+"""Table 2.1 — Platform Characteristics.
+
+Descriptive: prints the two experimental platforms as configured in
+:mod:`repro.machine.presets` and checks the structural facts (core/thread
+counts, SMT on Lehman only, network generations).
+"""
+
+from __future__ import annotations
+
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import Experiment
+from repro.machine.presets import lehman, platform_table, pyramid
+
+
+def run(scale: str) -> ExperimentResult:
+    rows = platform_table()
+    result = ExperimentResult(
+        experiment_id="t2_1",
+        title="Table 2.1 - Platform Characteristics",
+        scale=scale,
+        rows=rows,
+        paper_values=[
+            "Lehman: Intel Nehalem, 2 sockets x 4 cores x 2 SMT, 12 nodes, QDR IB",
+            "Pyramid: AMD Barcelona, 2 sockets x 4 cores, 128 nodes, DDR IB",
+        ],
+    )
+    fails = result.shape_failures
+    le, py = lehman(), pyramid()
+    if le.machine.node.pus != 16:
+        fails.append("Lehman should expose 16 hardware threads per node")
+    if py.machine.node.pus != 8:
+        fails.append("Pyramid should expose 8 hardware threads per node")
+    if le.machine.node.smt_per_core != 2 or py.machine.node.smt_per_core != 1:
+        fails.append("SMT must be 2-way on Lehman and absent on Pyramid")
+    if le.default_conduit != "ib-qdr" or py.default_conduit != "ib-ddr":
+        fails.append("default conduits must be QDR (Lehman) / DDR (Pyramid)")
+    return result
+
+
+EXPERIMENT = Experiment("t2_1", "Table 2.1 - Platform Characteristics", run)

@@ -1,0 +1,88 @@
+"""Table 3.2 — Profiling Results of UTS.
+
+Fixed node count, growing threads-per-node; for each network the
+baseline's and the optimized (local + rapid diffusion) policy's overall
+time and local-steal percentage.  The paper reports local-steal shares of
+36–72% (baseline) and 58–91% (optimized); our baseline's share is lower
+(uniform random victims make a local hit a 1-in-(T-1) event — see
+EXPERIMENTS.md), but the two findings under test are directional: the
+optimization raises the local share and the gain grows with the number of
+local workers.
+"""
+
+from __future__ import annotations
+
+from repro.apps.uts import paper_tree, run_uts, small_tree
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import Experiment
+from repro.machine.presets import pyramid
+
+_PAPER = [
+    "IB 32/2: +3.4% overall, local steals 36.2% -> 59.0%",
+    "IB 64/4: +7.1% overall, local steals 58.1% -> 82.9%",
+    "IB 128/8: +11.2% overall, local steals 72.2% -> 90.9%",
+    "Eth 32/2: +49.4% overall, local steals 18.2% -> 57.8%",
+    "Eth 64/4: +66.5% overall, local steals 40.5% -> 81.1%",
+    "Eth 128/8: +99.5% overall, local steals 58.1% -> 89.7%",
+]
+
+
+def run(scale: str) -> ExperimentResult:
+    if scale == "paper":
+        tree = paper_tree()
+        configs = [(32, 2), (64, 4), (128, 8)]
+        nodes = 16
+    else:
+        tree = small_tree("medium")
+        configs = [(16, 2), (32, 4), (64, 8)]
+        nodes = 8
+    rows = []
+    for conduit, chunk in (("ib-ddr", 8), ("gige", 20)):
+        for threads, tpn in configs:
+            base = run_uts("baseline", tree=tree, threads=threads,
+                           threads_per_node=tpn, conduit=conduit,
+                           steal_chunk=chunk, preset=pyramid(nodes=nodes))
+            opt = run_uts("local+diffusion", tree=tree, threads=threads,
+                          threads_per_node=tpn, conduit=conduit,
+                          steal_chunk=chunk, preset=pyramid(nodes=nodes))
+            improvement = 100.0 * (base["elapsed_s"] / opt["elapsed_s"] - 1.0)
+            rows.append({
+                "Config": f"{conduit} {threads}/{tpn}",
+                "Overall improvement %": round(improvement, 1),
+                "% local (baseline)": round(base["pct_local_steals"], 1),
+                "% local (optimized)": round(opt["pct_local_steals"], 1),
+            })
+    result = ExperimentResult(
+        experiment_id="t3_2",
+        title="Table 3.2 - Profiling Results of UTS",
+        scale=scale,
+        rows=rows,
+        paper_values=_PAPER,
+        notes=["baseline local-steal %: our uniform-random victim selection "
+               "yields ~(tpn-1)/(T-1); the paper's baseline profile is higher "
+               "(see EXPERIMENTS.md)"],
+    )
+    fails = result.shape_failures
+    by_net = {"ib-ddr": [], "gige": []}
+    for row in rows:
+        net = row["Config"].split()[0]
+        by_net[net].append(row)
+    for net, net_rows in by_net.items():
+        for row in net_rows:
+            if row["% local (optimized)"] <= row["% local (baseline)"]:
+                fails.append(f"{row['Config']}: optimization did not raise "
+                             "the local-steal share")
+        locals_opt = [r["% local (optimized)"] for r in net_rows]
+        if locals_opt != sorted(locals_opt):
+            fails.append(f"{net}: optimized local share should grow with "
+                         "threads-per-node")
+        if net_rows[-1]["Overall improvement %"] <= 0:
+            fails.append(f"{net}: optimization should win at the largest config")
+    eth_gain = by_net["gige"][-1]["Overall improvement %"]
+    ib_gain = by_net["ib-ddr"][-1]["Overall improvement %"]
+    if eth_gain <= 0 or ib_gain <= 0:
+        fails.append("both networks should benefit at the largest config")
+    return result
+
+
+EXPERIMENT = Experiment("t3_2", "Table 3.2 - UTS profiling", run)

@@ -1,0 +1,66 @@
+"""Table 4.1 — Performance of the STREAM Triad (hybrid placement study).
+
+Pure UPC and pure OpenMP at 8 threads, then UPC×OpenMP at 1×8 / 2×4 / 4×2
+on the dual-socket Nehalem node.  Paper finding: the un-bound 1×8
+configuration achieves barely more than half the node bandwidth (all
+first-touch pages on one socket); properly bound 2×4 and 4×2 match the
+pure models.
+"""
+
+from __future__ import annotations
+
+from repro.apps.stream import run_hybrid_stream, run_pure
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import Experiment
+from repro.machine.presets import lehman
+
+_PAPER = {
+    "upc (8)": 24.5,
+    "openmp (8)": 23.7,
+    "1*8 (unbound)": 13.9,
+    "2*4": 24.7,
+    "4*2": 24.7,
+}
+
+
+def run(scale: str) -> ExperimentResult:
+    n = 2_000_000 if scale == "paper" else 300_000
+    preset = lehman(nodes=1)
+    measured = {}
+    measured["upc (8)"] = run_pure("upc", preset=preset,
+                                   elements_per_thread=n)["throughput_gbs"]
+    measured["openmp (8)"] = run_pure("openmp", preset=preset,
+                                      elements_per_thread=n)["throughput_gbs"]
+    measured["1*8 (unbound)"] = run_hybrid_stream(
+        1, 8, bound=False, preset=preset, total_elements=8 * n
+    )["throughput_gbs"]
+    measured["2*4"] = run_hybrid_stream(
+        2, 4, bound=True, preset=preset, total_elements=8 * n
+    )["throughput_gbs"]
+    measured["4*2"] = run_hybrid_stream(
+        4, 2, bound=True, preset=preset, total_elements=8 * n
+    )["throughput_gbs"]
+    rows = [
+        {"Config": k, "Throughput (GB/s)": round(v, 1), "Paper (GB/s)": _PAPER[k]}
+        for k, v in measured.items()
+    ]
+    result = ExperimentResult(
+        experiment_id="t4_1",
+        title="Table 4.1 - STREAM Triad under hybrid placement",
+        scale=scale,
+        rows=rows,
+        paper_values=[f"{k}: {v} GB/s" for k, v in _PAPER.items()],
+    )
+    fails = result.shape_failures
+    if measured["1*8 (unbound)"] > 0.65 * measured["2*4"]:
+        fails.append("un-bound 1*8 should achieve roughly half of bound 2*4")
+    if abs(measured["2*4"] - measured["4*2"]) > 0.1 * measured["2*4"]:
+        fails.append("bound 2*4 and 4*2 should match")
+    for k in ("upc (8)", "openmp (8)", "2*4", "4*2"):
+        if not 20 <= measured[k] <= 27:
+            fails.append(f"{k}: {measured[k]:.1f} GB/s outside the 20-27 band "
+                         f"(paper: {_PAPER[k]})")
+    return result
+
+
+EXPERIMENT = Experiment("t4_1", "Table 4.1 - hybrid STREAM placement", run)

@@ -1,0 +1,75 @@
+"""Experiment registry and dispatch."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.harness.reporting import ExperimentResult
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
+
+SCALES = ("quick", "paper")
+
+#: experiment id -> module path (one module per paper table/figure)
+_MODULES = {
+    "t2_1": "repro.harness.experiments.t2_1",
+    "t3_1": "repro.harness.experiments.t3_1",
+    "t3_2": "repro.harness.experiments.t3_2",
+    "f3_3": "repro.harness.experiments.f3_3",
+    "f3_4": "repro.harness.experiments.f3_4",
+    "f4_2": "repro.harness.experiments.f4_2",
+    "t4_1": "repro.harness.experiments.t4_1",
+    "f4_4": "repro.harness.experiments.f4_4",
+    "f4_5": "repro.harness.experiments.f4_5",
+    "f4_6": "repro.harness.experiments.f4_6",
+}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    experiment_id: str
+    title: str
+    run: Callable[[str], ExperimentResult]  # run(scale) -> result
+
+    def __call__(self, scale: str = "quick") -> ExperimentResult:
+        if scale not in SCALES:
+            raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+        return self.run(scale)
+
+
+class _Registry:
+    """Lazy experiment registry (experiments import heavy app code)."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, Experiment] = {}
+
+    def ids(self) -> List[str]:
+        return list(_MODULES)
+
+    def __contains__(self, experiment_id: str) -> bool:
+        return experiment_id in _MODULES
+
+    def get(self, experiment_id: str) -> Experiment:
+        if experiment_id not in _MODULES:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; available: {self.ids()}"
+            )
+        if experiment_id not in self._cache:
+            module = importlib.import_module(_MODULES[experiment_id])
+            self._cache[experiment_id] = module.EXPERIMENT
+        return self._cache[experiment_id]
+
+
+EXPERIMENTS = _Registry()
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    return EXPERIMENTS.get(experiment_id)
+
+
+def run_experiment(experiment_id: str, scale: str = "quick") -> ExperimentResult:
+    return get_experiment(experiment_id)(scale)

@@ -1,0 +1,194 @@
+"""Thread/process placement: affinity masks and numactl-like policies.
+
+The thesis binds UPC processes cyclically to ccNUMA sockets with
+``numactl`` and lets sub-threads inherit the parent's mask (§4.3.2).
+This module reproduces that machinery:
+
+* :class:`AffinityMask` — the set of PUs a rank may run on.
+* :func:`bind_round_robin_sockets` — the paper's default: rank *i* on a
+  node gets that node's socket ``i % sockets``, sub-threads stay on-chip.
+* :func:`bind_compact` — one PU per rank, filling cores before SMT
+  siblings (the layout used for pure-UPC runs).
+* :func:`bind_unbound` — no binding: every rank may run anywhere on its
+  node, modelling the OS scheduler.  First-touch placement then lands all
+  of a rank's memory on the allocating thread's socket, which is what
+  makes the un-bound ``1×8`` configuration in Table 4.1 slow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import AffinityError
+from repro.machine.topology import MachineTopology
+
+__all__ = [
+    "AffinityMask",
+    "BindPolicy",
+    "Placement",
+    "assign_ranks_to_nodes",
+    "bind_compact",
+    "bind_round_robin_sockets",
+    "bind_unbound",
+    "subthread_pus",
+]
+
+
+@dataclass(frozen=True)
+class AffinityMask:
+    """An immutable set of PU indices a thread may execute on."""
+
+    pus: tuple
+
+    def __post_init__(self) -> None:
+        if not self.pus:
+            raise AffinityError("empty affinity mask")
+        object.__setattr__(self, "pus", tuple(sorted(set(self.pus))))
+
+    def __contains__(self, pu_index: int) -> bool:
+        return pu_index in self.pus
+
+    def __len__(self) -> int:
+        return len(self.pus)
+
+    @property
+    def primary(self) -> int:
+        """The PU a single-threaded rank runs on (lowest index in mask)."""
+        return self.pus[0]
+
+    def intersect(self, other: "AffinityMask") -> "AffinityMask":
+        common = tuple(p for p in self.pus if p in other.pus)
+        if not common:
+            raise AffinityError(f"disjoint masks: {self.pus} vs {other.pus}")
+        return AffinityMask(common)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Per-rank affinity masks for one program launch."""
+
+    masks: tuple  # tuple[AffinityMask, ...]
+    policy: str
+
+    def __len__(self) -> int:
+        return len(self.masks)
+
+    def mask(self, rank: int) -> AffinityMask:
+        try:
+            return self.masks[rank]
+        except IndexError:
+            raise AffinityError(
+                f"rank {rank} out of range ({len(self.masks)} ranks placed)"
+            ) from None
+
+    def home_pu(self, rank: int) -> int:
+        return self.masks[rank].primary
+
+
+def assign_ranks_to_nodes(
+    topo: MachineTopology, nranks: int, per_node: Optional[int] = None
+) -> List[int]:
+    """Block-distribute ranks over nodes (consecutive ranks share a node).
+
+    This is GASNet's default process layout.  ``per_node`` defaults to an
+    even split; the machine must have room.
+    """
+    if nranks < 1:
+        raise AffinityError(f"nranks must be >= 1, got {nranks}")
+    if per_node is None:
+        per_node = -(-nranks // topo.total_nodes)  # ceil division
+    if per_node < 1:
+        raise AffinityError(f"per_node must be >= 1, got {per_node}")
+    nodes_needed = -(-nranks // per_node)
+    if nodes_needed > topo.total_nodes:
+        raise AffinityError(
+            f"{nranks} ranks at {per_node}/node need {nodes_needed} nodes; "
+            f"machine has {topo.total_nodes}"
+        )
+    return [rank // per_node for rank in range(nranks)]
+
+
+BindPolicy = str  # "sockets" | "compact" | "unbound"
+
+
+def bind_round_robin_sockets(
+    topo: MachineTopology, nranks: int, per_node: Optional[int] = None
+) -> Placement:
+    """numactl-style: local rank *i* bound to socket ``i % sockets`` of its node."""
+    node_of = assign_ranks_to_nodes(topo, nranks, per_node)
+    sockets_per_node = topo.spec.node.sockets
+    masks = []
+    local_rank: dict[int, int] = {}
+    for rank in range(nranks):
+        node = topo.nodes[node_of[rank]]
+        lr = local_rank.get(node.index, 0)
+        local_rank[node.index] = lr + 1
+        sock = topo.sockets[node.socket_indices[lr % sockets_per_node]]
+        masks.append(AffinityMask(sock.pu_indices))
+    return Placement(tuple(masks), policy="sockets")
+
+
+def bind_compact(
+    topo: MachineTopology, nranks: int, per_node: Optional[int] = None
+) -> Placement:
+    """One PU per rank: fill distinct cores of a node first, SMT siblings last.
+
+    Matches how the paper runs pure-UPC configurations (one process per
+    core, HyperThreads used only at the 2-threads-per-core design point).
+    """
+    node_of = assign_ranks_to_nodes(topo, nranks, per_node)
+    masks = []
+    local_rank: dict[int, int] = {}
+    for rank in range(nranks):
+        node = topo.nodes[node_of[rank]]
+        lr = local_rank.get(node.index, 0)
+        local_rank[node.index] = lr + 1
+        ncores = len(node.core_indices)
+        smt = lr // ncores
+        core_slot = lr % ncores
+        core = topo.cores[node.core_indices[core_slot]]
+        if smt >= len(core.pu_indices):
+            raise AffinityError(
+                f"node {node.index} oversubscribed: local rank {lr} but only "
+                f"{len(node.pu_indices)} PUs"
+            )
+        masks.append(AffinityMask((core.pu_indices[smt],)))
+    return Placement(tuple(masks), policy="compact")
+
+
+def bind_unbound(
+    topo: MachineTopology, nranks: int, per_node: Optional[int] = None
+) -> Placement:
+    """No binding: each rank may run on any PU of its node."""
+    node_of = assign_ranks_to_nodes(topo, nranks, per_node)
+    masks = [
+        AffinityMask(topo.nodes[node_of[rank]].pu_indices) for rank in range(nranks)
+    ]
+    return Placement(tuple(masks), policy="unbound")
+
+
+def subthread_pus(topo: MachineTopology, mask: AffinityMask, count: int) -> List[int]:
+    """Choose PUs for ``count`` sub-threads inside ``mask``.
+
+    Fills distinct cores first, then SMT siblings, then wraps
+    (oversubscription beyond the mask degrades to time-slicing in the
+    :class:`~repro.machine.memory.SmtCore` model).
+    """
+    if count < 1:
+        raise AffinityError(f"count must be >= 1, got {count}")
+    by_core: dict[int, list[int]] = {}
+    for pu in mask.pus:
+        by_core.setdefault(topo.pu(pu).core_index, []).append(pu)
+    for siblings in by_core.values():
+        siblings.sort(key=lambda p: topo.pu(p).smt_index)
+    cores_sorted = sorted(by_core)
+    ordered: list[int] = []
+    depth = 0
+    while len(ordered) < len(mask.pus):
+        for core in cores_sorted:
+            siblings = by_core[core]
+            if depth < len(siblings):
+                ordered.append(siblings[depth])
+        depth += 1
+    return [ordered[i % len(ordered)] for i in range(count)]

@@ -1,0 +1,15 @@
+"""A simulated two-sided MPI baseline.
+
+The thesis compares its UPC variants against Fortran-MPI NAS FT run under
+OpenMPI.  This package provides that comparator on the same simulated
+machines: ranks are processes with private connections and an OpenMPI-style
+shared-memory transport inside the node, point-to-point messaging follows
+the eager/rendezvous protocol split, and the collectives are the
+"optimized" algorithms the MPI implementation ships (pairwise-exchange
+all-to-all, recursive-doubling allreduce, binomial broadcast).
+"""
+
+from repro.mpi.comm import MpiProgram, MpiRank, MpiParams
+from repro.mpi import collectives
+
+__all__ = ["MpiProgram", "MpiRank", "MpiParams", "collectives"]

@@ -1,0 +1,22 @@
+"""Interconnect fabric simulator.
+
+Models the cluster networks of the thesis (QDR/DDR InfiniBand, Gigabit
+Ethernet) with a LogGP-flavoured cost model:
+
+* per-message **send overhead** (charged on the sender's core by the
+  caller), **injection gap** serialized on the endpoint's *connection*,
+  **wire latency**, and **bandwidth** terms;
+* **processor-sharing NIC pipes** per node (tx and rx), producing the
+  all-to-all saturation beyond ~2 communicating cores per node seen in
+  Figs 4.4/4.5;
+* **shared connections**: ranks of one process (the pthreads backend and
+  sub-thread hybrids) share a single connection whose injection
+  serializes, while process ranks each own a connection — the
+  processes-vs-pthreads separation of Fig 4.2.
+"""
+
+from repro.network.model import NetworkParams
+from repro.network.fabric import Endpoint, Fabric
+from repro.network.conduits import CONDUITS, conduit
+
+__all__ = ["CONDUITS", "Endpoint", "Fabric", "NetworkParams", "conduit"]

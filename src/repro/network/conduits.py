@@ -1,0 +1,69 @@
+"""GASNet-style conduit presets.
+
+Calibration sources (all one-way unless noted):
+
+* **ib-qdr** (Lehman): Fig 4.2a shows ~4 µs small-message round-trip, so
+  ~2 µs one-way including software overheads; Fig 4.2b shows a single
+  link pair flooding at ~1.4 GB/s with the NIC aggregating to ~2.4 GB/s
+  across multiple pairs (Fig 2.2 quotes 2.4 GB/s unidirectional).
+* **ib-ddr** (Pyramid): Fig 2.1 quotes 1.5 GB/s unidirectional
+  point-to-point; DDR InfiniBand small-message latency is slightly higher
+  than QDR's.
+* **gige** (Pyramid's Ethernet fabric): standard GigE numbers — ~25 µs
+  one-way latency through the kernel TCP stack, 125 MB/s line rate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetworkError
+from repro.network.model import NetworkParams
+
+__all__ = ["CONDUITS", "conduit"]
+
+_GB = 1e9
+
+CONDUITS: dict[str, NetworkParams] = {
+    "ib-qdr": NetworkParams(
+        name="ib-qdr",
+        latency=1.4e-6,
+        send_overhead=0.3e-6,
+        recv_overhead=0.3e-6,
+        gap=0.15e-6,
+        connection_bw=1.4 * _GB,
+        nic_bw=2.4 * _GB,
+        loopback_bw=2.0 * _GB,
+        loopback_latency=0.4e-6,
+    ),
+    "ib-ddr": NetworkParams(
+        name="ib-ddr",
+        latency=2.2e-6,
+        send_overhead=0.4e-6,
+        recv_overhead=0.4e-6,
+        gap=0.2e-6,
+        connection_bw=1.1 * _GB,
+        nic_bw=1.5 * _GB,
+        loopback_bw=1.8 * _GB,
+        loopback_latency=0.5e-6,
+    ),
+    "gige": NetworkParams(
+        name="gige",
+        latency=25.0e-6,
+        send_overhead=5.0e-6,
+        recv_overhead=5.0e-6,
+        gap=2.0e-6,
+        connection_bw=0.118 * _GB,
+        nic_bw=0.125 * _GB,
+        loopback_bw=1.2 * _GB,
+        loopback_latency=4.0e-6,
+    ),
+}
+
+
+def conduit(name: str) -> NetworkParams:
+    """Look up a conduit preset by name."""
+    try:
+        return CONDUITS[name]
+    except KeyError:
+        raise NetworkError(
+            f"unknown conduit {name!r}; available: {sorted(CONDUITS)}"
+        ) from None

@@ -1,0 +1,280 @@
+"""The simulated interconnect: endpoints, connections, NIC pipes.
+
+An :class:`Endpoint` is one communication client (a UPC thread / MPI
+rank).  Endpoints on the same node that share a ``connection_key`` (all
+ranks of one multi-threaded process) share a single :class:`Connection`;
+process-per-rank backends give every endpoint its own.  A connection
+serializes message *injection* (``gap + nbytes/connection_bw`` held under
+a mutex), which is the mechanism behind the thesis's observation that
+"latency for pthreaded messaging appears serialized" (§4.3.1) while
+processes extract more aggregate bandwidth from extra connections.
+
+Data in flight then drains through the sender's tx and receiver's rx NIC
+pipes (processor-shared per node) after the one-way wire latency.
+Intra-node messages sent through the network API — the no-PSHM baseline —
+skip the wire and drain through the node's loopback pipe instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from repro.errors import NetworkError
+from repro.machine.topology import MachineTopology
+from repro.network.model import NetworkParams
+from repro.sim import Resource, SharedBandwidth, Simulator, StatsCollector
+
+__all__ = ["Connection", "Endpoint", "Fabric"]
+
+
+@dataclass
+class Connection:
+    """One network connection (queue pair): serialized injection."""
+
+    key: tuple
+    injector: Resource
+    messages: int = 0
+    bytes: float = 0.0
+    active: int = 0  #: messages currently in flight on this connection
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A registered communication client."""
+
+    endpoint_id: int
+    node_index: int
+    connection: Connection
+
+
+class _NicPipe(SharedBandwidth):
+    """A NIC direction whose aggregate rate degrades with the number of
+    simultaneously active connections on its node (QP thrashing; see
+    :meth:`NetworkParams.nic_efficiency`)."""
+
+    def __init__(self, sim: Simulator, fabric: "Fabric", node: int, name: str):
+        super().__init__(
+            sim, fabric.params.nic_bw, name=name, fifo=fabric.params.fifo_links
+        )
+        self._fabric = fabric
+        self._node = node
+
+    def _aggregate_rate(self, n: int) -> float:
+        active = self._fabric.active_connections_on_node(self._node)
+        return self.rate * self._fabric.params.nic_efficiency(active)
+
+
+class Fabric:
+    """All NICs, connections and wires of one cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topo: MachineTopology,
+        params: NetworkParams,
+        stats: Optional[StatsCollector] = None,
+    ):
+        self.sim = sim
+        self.topo = topo
+        self.params = params
+        self.stats = stats if stats is not None else StatsCollector(sim)
+        self._active_conns: Dict[int, int] = {n.index: 0 for n in topo.nodes}
+        self.nic_tx = [
+            _NicPipe(sim, self, n.index, name=f"nic.tx{n.index}")
+            for n in topo.nodes
+        ]
+        self.nic_rx = [
+            _NicPipe(sim, self, n.index, name=f"nic.rx{n.index}")
+            for n in topo.nodes
+        ]
+        self.loopback = [
+            SharedBandwidth(sim, params.loopback_bw, name=f"nic.loop{n.index}")
+            for n in topo.nodes
+        ]
+        self._connections: Dict[tuple, Connection] = {}
+        self._endpoints: Dict[int, Endpoint] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def register_endpoint(
+        self, endpoint_id: int, node_index: int, connection_key: Optional[object] = None
+    ) -> Endpoint:
+        """Register a communication client on ``node_index``.
+
+        Endpoints passing the same ``connection_key`` (scoped per node)
+        share one connection; the default gives each endpoint its own.
+        """
+        if endpoint_id in self._endpoints:
+            raise NetworkError(f"endpoint {endpoint_id} already registered")
+        if not 0 <= node_index < self.topo.total_nodes:
+            raise NetworkError(f"node {node_index} out of range")
+        if connection_key is None:
+            connection_key = ("ep", endpoint_id)
+        key = (node_index, connection_key)
+        conn = self._connections.get(key)
+        if conn is None:
+            conn = Connection(
+                key=key, injector=Resource(self.sim, 1, name=f"conn{key}")
+            )
+            self._connections[key] = conn
+        ep = Endpoint(endpoint_id=endpoint_id, node_index=node_index, connection=conn)
+        self._endpoints[endpoint_id] = ep
+        return ep
+
+    def endpoint(self, endpoint_id: int) -> Endpoint:
+        try:
+            return self._endpoints[endpoint_id]
+        except KeyError:
+            raise NetworkError(f"unknown endpoint {endpoint_id}") from None
+
+    def connections_on_node(self, node_index: int) -> int:
+        return sum(1 for (n, _k) in self._connections if n == node_index)
+
+    def active_connections_on_node(self, node_index: int) -> int:
+        return self._active_conns[node_index]
+
+    def _conn_activity(self, conn: Connection, delta: int) -> None:
+        """Adjust a connection's in-flight count, repricing its node's NICs.
+
+        Pipes are advanced *before* the count change (progress so far was
+        made at the old efficiency) and rescheduled after it.
+        """
+        node = conn.key[0]
+        pipes = (self.nic_tx[node], self.nic_rx[node])
+        for pipe in pipes:
+            pipe._advance()
+        was_active = conn.active > 0
+        conn.active += delta
+        if conn.active < 0:
+            raise NetworkError(f"connection {conn.key} activity underflow")
+        now_active = conn.active > 0
+        if was_active != now_active:
+            self._active_conns[node] += 1 if now_active else -1
+        for pipe in pipes:
+            pipe._reschedule()
+
+    # -- data movement ----------------------------------------------------
+
+    def transmit(self, src_id: int, dst_id: int, nbytes: float) -> Generator:
+        """Simulated generator: move ``nbytes`` from ``src_id`` to ``dst_id``.
+
+        Completes when the data is fully delivered at the destination.
+        The caller is responsible for charging ``send_overhead`` on the
+        sending core (the fabric does not know about cores).
+        """
+        if nbytes < 0:
+            raise NetworkError(f"negative message size: {nbytes}")
+        src = self.endpoint(src_id)
+        dst = self.endpoint(dst_id)
+        p = self.params
+        self.stats.count("net.messages")
+        self.stats.add("net.bytes", nbytes)
+
+        # Injection: serialized on the (possibly shared) connection.  The
+        # wire leg runs concurrently — packets pipeline — so delivery
+        # completes at max(injection end, latency + NIC drain end).
+        conn = src.connection
+        yield conn.injector.acquire()
+        conn.messages += 1
+        conn.bytes += nbytes
+        self._conn_activity(conn, +1)
+        try:
+            injection = self.sim.delay(p.gap + nbytes / p.connection_bw)
+            injection.add_callback(lambda _ev: conn.injector.release())
+            wire = self.sim.spawn(
+                self._wire_leg(src, dst, nbytes), name="fabric.wire"
+            )
+            yield self.sim.all_of([injection, wire])
+        finally:
+            self._conn_activity(conn, -1)
+
+    def _wire_leg(self, src: Endpoint, dst: Endpoint, nbytes: float) -> Generator:
+        p = self.params
+        if src.node_index == dst.node_index:
+            # Intra-node traffic through the network API loops back through
+            # the adapter itself (the ibv conduit's behaviour without
+            # PSHM), so it competes with inter-node traffic on the NIC
+            # pipes — which is exactly why Fig 3.4's PSHM gains grow with
+            # thread density.
+            self.stats.count("net.loopback_messages")
+            yield self.sim.delay(p.loopback_latency)
+            node = src.node_index
+            yield self.sim.all_of(
+                [
+                    self.loopback[node].transfer(nbytes),
+                    self.nic_tx[node].transfer(nbytes),
+                    self.nic_rx[node].transfer(nbytes),
+                ]
+            )
+            return
+        yield self.sim.delay(p.latency)
+        yield self.sim.all_of(
+            [
+                self.nic_tx[src.node_index].transfer(nbytes),
+                self.nic_rx[dst.node_index].transfer(nbytes),
+            ]
+        )
+
+    def fetch(self, initiator_id: int, target_id: int, nbytes: float) -> Generator:
+        """Simulated generator: RDMA-read ``nbytes`` from ``target_id``.
+
+        The initiator's connection carries the read (its queue pair is
+        occupied for the duration, like a hardware RDMA READ); data drains
+        target→initiator through the reverse NIC pipes after a one-way
+        request latency.  No CPU is charged at the target.
+        """
+        if nbytes < 0:
+            raise NetworkError(f"negative message size: {nbytes}")
+        ini = self.endpoint(initiator_id)
+        tgt = self.endpoint(target_id)
+        p = self.params
+        self.stats.count("net.messages")
+        self.stats.add("net.bytes", nbytes)
+
+        conn = ini.connection
+        yield conn.injector.acquire()
+        conn.messages += 1
+        conn.bytes += nbytes
+        self._conn_activity(conn, +1)
+        try:
+            injection = self.sim.delay(p.gap + nbytes / p.connection_bw)
+            injection.add_callback(lambda _ev: conn.injector.release())
+            wire = self.sim.spawn(
+                self._fetch_wire_leg(ini, tgt, nbytes), name="fabric.fetchwire"
+            )
+            yield self.sim.all_of([injection, wire])
+        finally:
+            self._conn_activity(conn, -1)
+
+    def _fetch_wire_leg(self, ini: Endpoint, tgt: Endpoint, nbytes: float) -> Generator:
+        p = self.params
+        if ini.node_index == tgt.node_index:
+            self.stats.count("net.loopback_messages")
+            yield self.sim.delay(p.loopback_latency)
+            node = ini.node_index
+            yield self.sim.all_of(
+                [
+                    self.loopback[node].transfer(nbytes),
+                    self.nic_tx[node].transfer(nbytes),
+                    self.nic_rx[node].transfer(nbytes),
+                ]
+            )
+            return
+        # Request flight + response flight: a read pays the wire twice
+        # before data starts arriving.
+        yield self.sim.delay(2 * p.latency)
+        yield self.sim.all_of(
+            [
+                self.nic_tx[tgt.node_index].transfer(nbytes),
+                self.nic_rx[ini.node_index].transfer(nbytes),
+            ]
+        )
+
+    def analytic_message_time(self, src_id: int, dst_id: int, nbytes: float) -> float:
+        """Uncontended transmit time (tests and back-of-envelope checks)."""
+        src = self.endpoint(src_id)
+        dst = self.endpoint(dst_id)
+        if src.node_index == dst.node_index:
+            return self.params.loopback_time(nbytes)
+        return self.params.message_time(nbytes)

@@ -1,0 +1,100 @@
+"""Process synchronization: broadcast conditions and counted barriers."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+__all__ = ["Condition", "SimBarrier"]
+
+
+class Condition:
+    """A broadcast condition: many waiters, woken all at once.
+
+    Unlike :class:`~repro.sim.engine.Event` a condition can be notified
+    repeatedly; each ``wait()`` call returns a fresh one-shot event tied to
+    the *next* notification.
+    """
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._waiters: list[Event] = []
+        self.notify_count = 0
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def wait(self) -> Event:
+        ev = Event(self.sim)
+        self._waiters.append(ev)
+        return ev
+
+    def notify_all(self, value: Any = None) -> int:
+        """Wake every current waiter; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        self.notify_count += 1
+        woken = 0
+        for ev in waiters:
+            if not ev.cancelled:
+                ev.succeed(value)
+                woken += 1
+        return woken
+
+
+class SimBarrier:
+    """A reusable barrier for exactly ``parties`` simulated processes.
+
+    The implementation is *sense-reversing*: each generation hands out a
+    fresh event, so a fast process re-entering the barrier cannot consume
+    the previous generation's release.  Matches the semantics UPC requires
+    of ``upc_barrier``.
+    """
+
+    def __init__(self, sim: Simulator, parties: int, name: str = ""):
+        if parties < 1:
+            raise ValueError(f"parties must be >= 1, got {parties}")
+        self.sim = sim
+        self.parties = parties
+        self.name = name
+        self._arrived = 0
+        self._generation = 0
+        self._release = Event(sim)
+        self._arrival_times: list[float] = []
+        # Statistics: cumulative time processes spent blocked in the barrier.
+        self.total_wait_time = 0.0
+        self.crossings = 0
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def arrive(self) -> Event:
+        """Arrive at the barrier; the returned event fires at full arrival.
+
+        The event's value is the generation number that was completed.
+        """
+        self._arrived += 1
+        if self._arrived > self.parties:
+            raise SimulationError(
+                f"barrier {self.name!r}: {self._arrived} arrivals for "
+                f"{self.parties} parties (reuse before release?)"
+            )
+        release = self._release
+        if self._arrived == self.parties:
+            completed = self._generation
+            self._generation += 1
+            self._arrived = 0
+            self._release = Event(self.sim)
+            self.crossings += 1
+            now = self.sim.now
+            self.total_wait_time += sum(now - t for t in self._arrival_times)
+            self._arrival_times.clear()
+            release.succeed(completed)
+            done = Event(self.sim)
+            done.succeed(completed)
+            return done
+        self._arrival_times.append(self.sim.now)
+        return release

@@ -1,0 +1,147 @@
+"""Measurement utilities: counters, accumulators and phase timers.
+
+Every experiment in the harness reads its numbers out of a
+:class:`StatsCollector`; keeping measurement in one place means apps never
+grow ad-hoc globals and runs stay comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+from repro.sim.engine import Simulator
+
+__all__ = ["StatsCollector", "PhaseTimer", "summarize"]
+
+
+def summarize(values: Iterable[float]) -> dict:
+    """Return min/max/mean/median/stdev of ``values`` (empty-safe)."""
+    data = sorted(values)
+    n = len(data)
+    if n == 0:
+        return {"n": 0, "min": 0.0, "max": 0.0, "mean": 0.0, "median": 0.0, "stdev": 0.0}
+    mean = sum(data) / n
+    if n % 2:
+        median = data[n // 2]
+    else:
+        median = 0.5 * (data[n // 2 - 1] + data[n // 2])
+    var = sum((x - mean) ** 2 for x in data) / n
+    return {
+        "n": n,
+        "min": data[0],
+        "max": data[-1],
+        "mean": mean,
+        "median": median,
+        "stdev": math.sqrt(var),
+    }
+
+
+class StatsCollector:
+    """Named counters, value accumulators and per-thread timers.
+
+    * ``count(name)`` — increment an integer counter.
+    * ``add(name, v)`` — accumulate a float (e.g. bytes moved).
+    * ``record(name, v)`` — append to a value series (for distributions).
+    * ``time_block`` — accumulate per-(name, key) elapsed simulated time
+      via explicit ``enter``/``exit`` pairs (see :class:`PhaseTimer`).
+    """
+
+    def __init__(self, sim: Optional[Simulator] = None):
+        self.sim = sim
+        self.counters: Dict[str, int] = {}
+        self.accumulators: Dict[str, float] = {}
+        self.series: Dict[str, List[float]] = {}
+        self.timers: Dict[tuple, float] = {}
+        self._open_timers: Dict[tuple, float] = {}
+
+    # -- counters -----------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def add(self, name: str, value: float) -> None:
+        self.accumulators[name] = self.accumulators.get(name, 0.0) + value
+
+    def record(self, name: str, value: float) -> None:
+        self.series.setdefault(name, []).append(value)
+
+    def get_count(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def get_sum(self, name: str) -> float:
+        return self.accumulators.get(name, 0.0)
+
+    def get_series(self, name: str) -> List[float]:
+        return self.series.get(name, [])
+
+    def summary(self, name: str) -> dict:
+        return summarize(self.series.get(name, []))
+
+    # -- timers ---------------------------------------------------------
+
+    def timer_enter(self, name: str, key=None) -> None:
+        if self.sim is None:
+            raise ValueError("StatsCollector needs a Simulator for timers")
+        tk = (name, key)
+        if tk in self._open_timers:
+            raise ValueError(f"timer {tk!r} already open")
+        self._open_timers[tk] = self.sim.now
+
+    def timer_exit(self, name: str, key=None) -> float:
+        tk = (name, key)
+        start = self._open_timers.pop(tk, None)
+        if start is None:
+            raise ValueError(f"timer {tk!r} was not opened")
+        elapsed = self.sim.now - start
+        self.timers[tk] = self.timers.get(tk, 0.0) + elapsed
+        return elapsed
+
+    def timer_total(self, name: str, key=None) -> float:
+        """Total time for (name, key); with key=Ellipsis, sum over all keys."""
+        if key is Ellipsis:
+            return sum(v for (n, _k), v in self.timers.items() if n == name)
+        return self.timers.get((name, key), 0.0)
+
+    def timer_max(self, name: str) -> float:
+        """Max over keys — the critical-path view of a parallel phase."""
+        values = [v for (n, _k), v in self.timers.items() if n == name]
+        return max(values) if values else 0.0
+
+    def phase(self, name: str, key=None) -> "PhaseTimer":
+        return PhaseTimer(self, name, key)
+
+    def merge(self, other: "StatsCollector") -> None:
+        for k, v in other.counters.items():
+            self.count(k, v)
+        for k, v in other.accumulators.items():
+            self.add(k, v)
+        for k, vs in other.series.items():
+            self.series.setdefault(k, []).extend(vs)
+        for tk, v in other.timers.items():
+            self.timers[tk] = self.timers.get(tk, 0.0) + v
+
+
+class PhaseTimer:
+    """Scoped phase timing for simulated code.
+
+    Because simulated processes are generators, Python's ``with`` blocks
+    cannot span a ``yield`` boundary safely on failure; apps instead write::
+
+        timer = stats.phase("fft1d", key=mythread)
+        timer.start()
+        yield ...                 # simulated work
+        timer.stop()
+    """
+
+    def __init__(self, stats: StatsCollector, name: str, key=None):
+        self.stats = stats
+        self.name = name
+        self.key = key
+
+    def start(self) -> "PhaseTimer":
+        self.stats.timer_enter(self.name, self.key)
+        return self
+
+    def stop(self) -> float:
+        return self.stats.timer_exit(self.name, self.key)

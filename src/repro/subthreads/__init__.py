@@ -1,0 +1,39 @@
+"""Hierarchical sub-threads under UPC threads (Chapter 4).
+
+Each SPMD UPC thread may act as a *master* that forks light-weight
+shared-memory sub-threads in a master–worker pattern — the thesis's
+second approach to hierarchical parallelism.  Three runtimes with
+distinct overhead profiles are provided, matching the thesis's
+UPC×OpenMP, UPC×Cilk++ and UPC×thread-pool hybrids:
+
+* :class:`~repro.subthreads.openmp.OpenMP` — fork/join parallel regions,
+  static scheduling, the cheapest fork path (best performer in Fig 4.6);
+* :class:`~repro.subthreads.pool.ThreadPool` — the in-house prototype:
+  persistent workers, central task queue, dynamic scheduling;
+* :class:`~repro.subthreads.cilk.Cilk` — spawn/steal semantics with the
+  highest per-region overhead and a small work inflation (the consistent
+  Cilk++ lag the thesis reports).
+
+Sub-threads inherit the parent process's affinity mask, access the global
+address space subject to a thread-safety level
+(:class:`~repro.subthreads.interop.ThreadSafety`), and do **not** poll the
+communication runtime — the property that keeps hybrid jobs off the NIC
+and behind Chapter 4's scaling results.
+"""
+
+from repro.subthreads.interop import SubthreadContext, ThreadSafety
+from repro.subthreads.base import ForkJoinRuntime, SubthreadParams, static_chunks
+from repro.subthreads.openmp import OpenMP
+from repro.subthreads.cilk import Cilk
+from repro.subthreads.pool import ThreadPool
+
+__all__ = [
+    "Cilk",
+    "ForkJoinRuntime",
+    "OpenMP",
+    "SubthreadContext",
+    "SubthreadParams",
+    "ThreadPool",
+    "ThreadSafety",
+    "static_chunks",
+]

@@ -1,0 +1,32 @@
+"""UPC×Cilk++ hybrid: spawn/steal with the heaviest runtime.
+
+§4.3.3.3 finds Cilk++ the slowest hybrid: "up to 10% of slowdown on FFTs
+and a consistent 0.2 seconds of lag", attributed to higher runtime
+overhead.  Modelled as dynamic (steal-balanced) scheduling with elevated
+fork/spawn costs and a work-inflation factor on sub-thread compute
+(cilk_for's generated frame bookkeeping).
+
+Cilk++ also cannot share a source file with UPC (it is a C++ extension);
+only ``extern "C"`` kernels are callable, so Cilk sub-threads here are
+restricted to THREAD_SINGLE-style local work by convention — the thesis
+uses Cilk only for local computational kernels.
+"""
+
+from __future__ import annotations
+
+from repro.subthreads.base import ForkJoinRuntime, SubthreadParams
+
+__all__ = ["Cilk"]
+
+
+class Cilk(ForkJoinRuntime):
+    """Cilk++-flavoured sub-thread runtime (see module docstring)."""
+
+    params = SubthreadParams(
+        name="cilk",
+        fork_cost=6.0e-6,
+        join_cost=4.0e-6,
+        per_task_cost=1.5e-6,
+        work_inflation=1.08,
+        scheduling="dynamic",
+    )

@@ -1,0 +1,144 @@
+"""UPC ↔ sub-thread interoperability: thread safety and the sub-thread view.
+
+§4.2.3 maps the MPI-2 thread-safety vocabulary onto UPC: a thread-compliant
+runtime should let sub-threads issue UPC calls concurrently
+(``THREAD_MULTIPLE``); the Berkeley runtime of the day was effectively
+``THREAD_FUNNELED`` (only the master may communicate), with user-spawned
+threads crashing on thread-specific runtime data.  The
+:class:`SubthreadContext` enforces whichever level the job requests —
+violating it raises :class:`~repro.errors.SubthreadError`, the simulated
+analogue of those crashes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Generator, Optional
+
+from repro.errors import SubthreadError
+from repro.gasnet import extended
+from repro.sim import Resource
+
+__all__ = ["ThreadSafety", "SubthreadContext"]
+
+
+class ThreadSafety(enum.Enum):
+    """MPI-2-style thread-support levels applied to UPC (§4.2.3)."""
+
+    SINGLE = "single"          #: no sub-thread may issue UPC calls at all
+    FUNNELED = "funneled"      #: only the master sub-thread (index 0) may
+    SERIALIZED = "serialized"  #: any sub-thread, one at a time
+    MULTIPLE = "multiple"      #: any sub-thread, concurrently
+
+
+class SubthreadContext:
+    """What one sub-thread sees: its identity, core, and permitted services.
+
+    Compute and memory streaming are always allowed (they are plain
+    shared-memory work).  UPC communication is gated by the job's
+    :class:`ThreadSafety` level.
+    """
+
+    def __init__(
+        self,
+        upc,
+        index: int,
+        count: int,
+        pu: int,
+        safety: ThreadSafety,
+        comm_mutex: Optional[Resource] = None,
+        work_inflation: float = 1.0,
+    ):
+        self.upc = upc
+        self.index = index
+        self.count = count
+        self.pu = pu
+        self.safety = safety
+        self._comm_mutex = comm_mutex
+        self._inflation = work_inflation
+        self.sim = upc.sim
+
+    # -- local work ---------------------------------------------------------
+
+    def compute(self, seconds: float) -> Generator:
+        yield self.upc.mem.compute(self.pu, seconds * self._inflation)
+
+    def compute_flops(self, flops: float, efficiency: float = 0.25) -> Generator:
+        rate = self.upc.mem.params.core_flops * efficiency
+        yield self.upc.mem.compute(self.pu, flops * self._inflation / rate)
+
+    def stream_from(
+        self, owner_thread: int, bytes_read: float, bytes_written: float
+    ) -> Generator:
+        """Stream against a UPC thread's segment — PGAS reach extends to
+        sub-threads (unlike MPI+threads, §4.1.2)."""
+        home = self.upc.gasnet.segment_socket(owner_thread)
+        yield from self.upc.mem.stream(self.pu, bytes_read, bytes_written, home)
+
+    def local_stream(self, bytes_read: float, bytes_written: float) -> Generator:
+        yield from self.stream_from(self.upc.MYTHREAD, bytes_read, bytes_written)
+
+    # -- UPC communication (gated) ----------------------------------------------
+
+    def _check_comm(self) -> None:
+        if self.safety is ThreadSafety.SINGLE:
+            raise SubthreadError(
+                "THREAD_SINGLE: sub-threads may not issue UPC calls"
+            )
+        if self.safety is ThreadSafety.FUNNELED and self.index != 0:
+            raise SubthreadError(
+                f"THREAD_FUNNELED: sub-thread {self.index} attempted a UPC "
+                "call; only the master may communicate"
+            )
+
+    def memput(self, dst_thread: int, nbytes: float, privatized: bool = False):
+        self._check_comm()
+        if self.safety is ThreadSafety.SERIALIZED:
+            yield self._comm_mutex.acquire()
+            try:
+                yield from extended.put(
+                    self.upc.gasnet, self.upc.MYTHREAD, dst_thread, nbytes,
+                    privatized, initiator_pu=self.pu,
+                )
+            finally:
+                self._comm_mutex.release()
+        else:
+            yield from extended.put(
+                self.upc.gasnet, self.upc.MYTHREAD, dst_thread, nbytes,
+                privatized, initiator_pu=self.pu,
+            )
+
+    def memget(self, src_thread: int, nbytes: float, privatized: bool = False):
+        self._check_comm()
+        if self.safety is ThreadSafety.SERIALIZED:
+            yield self._comm_mutex.acquire()
+            try:
+                yield from extended.get(
+                    self.upc.gasnet, self.upc.MYTHREAD, src_thread, nbytes,
+                    privatized, initiator_pu=self.pu,
+                )
+            finally:
+                self._comm_mutex.release()
+        else:
+            yield from extended.get(
+                self.upc.gasnet, self.upc.MYTHREAD, src_thread, nbytes,
+                privatized, initiator_pu=self.pu,
+            )
+
+    def memput_nb(self, dst_thread: int, nbytes: float, privatized: bool = False):
+        self._check_comm()
+        if self.safety is ThreadSafety.SERIALIZED:
+            raise SubthreadError(
+                "THREAD_SERIALIZED cannot express non-blocking overlap; "
+                "use MULTIPLE"
+            )
+        return extended.put_nb(
+            self.upc.gasnet, self.upc.MYTHREAD, dst_thread, nbytes,
+            privatized, initiator_pu=self.pu,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Subthread {self.index}/{self.count} of UPC thread "
+            f"{self.upc.MYTHREAD} on PU {self.pu}>"
+        )

@@ -1,0 +1,26 @@
+"""UPC×OpenMP hybrid: the cheapest fork/join path.
+
+Models GCC's libgomp (OpenMP v2.5, the compiler used in §4.3.3.2): a
+pre-created thread team parked on a spin barrier, so a ``#pragma omp
+parallel`` region costs about a microsecond to fan out.  Static
+worksharing is the default schedule.  Best-performing hybrid in Fig 4.6.
+"""
+
+from __future__ import annotations
+
+from repro.subthreads.base import ForkJoinRuntime, SubthreadParams
+
+__all__ = ["OpenMP"]
+
+
+class OpenMP(ForkJoinRuntime):
+    """OpenMP-flavoured sub-thread runtime (see module docstring)."""
+
+    params = SubthreadParams(
+        name="openmp",
+        fork_cost=1.2e-6,
+        join_cost=0.8e-6,
+        per_task_cost=0.2e-6,
+        work_inflation=1.0,
+        scheduling="static",
+    )

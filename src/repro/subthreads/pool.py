@@ -1,0 +1,29 @@
+"""The in-house prototype thread-pool runtime (§4.2.2).
+
+"The prototype runtime library that we implemented uses the thread pool
+pattern ... a central task queue associated with a pool of threads.  The
+task queue allows the execution engine to automatically balance supply
+and demand for threads across multiple tasks."
+
+Dynamic scheduling through the central queue, overheads between OpenMP's
+and Cilk++'s — it places second among the hybrids in Fig 4.6.
+"""
+
+from __future__ import annotations
+
+from repro.subthreads.base import ForkJoinRuntime, SubthreadParams
+
+__all__ = ["ThreadPool"]
+
+
+class ThreadPool(ForkJoinRuntime):
+    """Thread-pool-flavoured sub-thread runtime (see module docstring)."""
+
+    params = SubthreadParams(
+        name="pool",
+        fork_cost=2.0e-6,
+        join_cost=1.5e-6,
+        per_task_cost=0.8e-6,
+        work_inflation=1.01,
+        scheduling="dynamic",
+    )

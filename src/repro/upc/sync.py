@@ -1,0 +1,124 @@
+"""UPC synchronization: locks and the split-phase barrier.
+
+``upc_lock_t`` objects live in shared memory with affinity to one thread;
+acquiring from elsewhere is an active-message round to that thread (or a
+cache-coherent atomic round when the contender shares memory with the
+lock's home).  Contended waiters queue FIFO at the home, like the
+Berkeley runtime's list locks.
+
+:class:`SplitPhaseBarrier` implements ``upc_notify`` / ``upc_wait``: a
+thread signals arrival without blocking, computes, and only blocks in
+``wait`` — the language-level tool for hiding barrier latency that the
+overlap implementations build on.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from repro.errors import UpcError
+from repro.sim import Event, Resource, Simulator
+
+__all__ = ["UpcLock", "SplitPhaseBarrier"]
+
+
+class UpcLock:
+    """A global lock with affinity (see module docstring).
+
+    Obtain instances through ``upc.lock(key, affinity_thread=...)`` so
+    that all threads share one object per key.
+    """
+
+    def __init__(self, program, key: object, affinity_thread: int = 0):
+        if not 0 <= affinity_thread < program.threads:
+            raise UpcError(f"lock affinity thread {affinity_thread} out of range")
+        self.program = program
+        self.key = key
+        self.affinity_thread = affinity_thread
+        self._resource = Resource(program.sim, 1, name=f"upc_lock:{key}")
+        self._holder = None
+        self.contended_acquires = 0
+
+    @property
+    def holder(self):
+        return self._holder
+
+    def acquire(self, upc) -> Generator:
+        """Simulated generator: blocking ``upc_lock``."""
+        # The acquisition request travels to the lock's home...
+        yield from upc.gasnet.am_roundtrip(upc.MYTHREAD, self.affinity_thread)
+        # ...and the contender queues there until granted.
+        grant = self._resource.acquire()
+        if not grant.done:
+            self.contended_acquires += 1
+        yield grant
+        self._holder = upc.MYTHREAD
+
+    def release(self, upc) -> Generator:
+        """Simulated generator: ``upc_unlock``."""
+        if self._holder != upc.MYTHREAD:
+            raise UpcError(
+                f"thread {upc.MYTHREAD} releasing lock {self.key!r} held by "
+                f"{self._holder}"
+            )
+        self._holder = None
+        # Releasing notifies the home; a shared-memory round when local.
+        yield from upc.gasnet.am_roundtrip(upc.MYTHREAD, self.affinity_thread)
+        self._resource.release()
+
+
+class SplitPhaseBarrier:
+    """``upc_notify`` / ``upc_wait``: a barrier you can compute through.
+
+    Each thread must strictly alternate ``notify`` then ``wait`` (UPC
+    semantics; violations raise).  A phase's release event fires when the
+    last party notifies; waiters that arrive afterwards pass straight
+    through.
+    """
+
+    def __init__(self, sim: Simulator, parties: int, name: str = ""):
+        if parties < 1:
+            raise UpcError(f"parties must be >= 1, got {parties}")
+        self.sim = sim
+        self.parties = parties
+        self.name = name or "split-barrier"
+        #: per-thread phase: even = expecting notify, odd = expecting wait
+        self._thread_state: List[int] = [0] * parties
+        self._notified = 0
+        self._phase = 0
+        self._release = Event(sim)
+
+    def notify(self, thread: int) -> None:
+        """Non-blocking arrival (``upc_notify``)."""
+        self._check_thread(thread)
+        if self._thread_state[thread] % 2 != 0:
+            raise UpcError(
+                f"thread {thread}: upc_notify before matching upc_wait"
+            )
+        self._thread_state[thread] += 1
+        self._notified += 1
+        if self._notified == self.parties:
+            release, self._release = self._release, Event(self.sim)
+            self._notified = 0
+            self._phase += 1
+            release.succeed(self._phase - 1)
+
+    def wait(self, thread: int) -> Event:
+        """Completion event for this thread's phase (``upc_wait``).
+
+        Already complete if every other thread has notified.
+        """
+        self._check_thread(thread)
+        if self._thread_state[thread] % 2 != 1:
+            raise UpcError(f"thread {thread}: upc_wait without upc_notify")
+        my_phase = self._thread_state[thread] // 2
+        self._thread_state[thread] += 1
+        if my_phase < self._phase:
+            done = Event(self.sim)
+            done.succeed(my_phase)
+            return done
+        return self._release
+
+    def _check_thread(self, thread: int) -> None:
+        if not 0 <= thread < self.parties:
+            raise UpcError(f"thread {thread} out of range for {self.parties}")

@@ -1,0 +1,86 @@
+"""Tests for the RandomAccess (GUPS) extension application."""
+
+import pytest
+
+from repro.apps.randomaccess import GupsConfig, run_gups
+from repro.apps.randomaccess.gups import _update_stream
+from repro.machine.presets import lehman
+
+SMALL = GupsConfig(table_words=1 << 12, updates_per_thread=512)
+
+
+def small(variant, **kw):
+    cfg = GupsConfig(variant=variant, table_words=1 << 12,
+                     updates_per_thread=512)
+    kw.setdefault("threads", 8)
+    kw.setdefault("threads_per_node", 4)
+    kw.setdefault("preset", lehman(nodes=2))
+    return run_gups(config=cfg, **kw)
+
+
+class TestConfig:
+    def test_bad_variant(self):
+        with pytest.raises(ValueError):
+            GupsConfig(variant="psychic")
+
+    def test_non_power_of_two_table(self):
+        with pytest.raises(ValueError, match="power of two"):
+            GupsConfig(table_words=1000)
+
+    def test_bad_bucket(self):
+        with pytest.raises(ValueError):
+            GupsConfig(bucket_size=0)
+
+
+class TestUpdateStream:
+    def test_deterministic(self):
+        a = _update_stream(3, 100, 1 << 12)
+        b = _update_stream(3, 100, 1 << 12)
+        assert (a[0] == b[0]).all() and (a[1] == b[1]).all()
+
+    def test_threads_diverge(self):
+        a = _update_stream(0, 100, 1 << 12)
+        b = _update_stream(1, 100, 1 << 12)
+        assert (a[0] != b[0]).any()
+
+    def test_indices_in_range(self):
+        idx, _ = _update_stream(0, 1000, 1 << 10)
+        assert idx.min() >= 0 and idx.max() < (1 << 10)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("variant", ["fine-grained", "bucketed", "groups"])
+    def test_table_verified_against_serial_replay(self, variant):
+        r = small(variant)
+        assert r["verified"]
+        assert r["updates"] == 8 * 512
+
+    def test_single_thread(self):
+        cfg = GupsConfig(table_words=1 << 10, updates_per_thread=256)
+        r = run_gups(config=cfg, threads=1, threads_per_node=1)
+        assert r["verified"]
+        assert r["remote_updates"] == 0
+
+    def test_deterministic_timing(self):
+        a = small("groups")
+        b = small("groups")
+        assert a["elapsed_s"] == b["elapsed_s"]
+
+
+class TestPerformanceShapes:
+    def test_bucketing_beats_fine_grained(self):
+        """Batched puts amortize the per-update network round."""
+        fine = small("fine-grained")
+        bucketed = small("bucketed")
+        assert bucketed["elapsed_s"] < 0.5 * fine["elapsed_s"]
+
+    def test_groups_beat_plain_bucketing(self):
+        """Privatized intra-node updates skip the wire entirely."""
+        bucketed = small("bucketed")
+        grouped = small("groups")
+        assert grouped["elapsed_s"] < bucketed["elapsed_s"]
+        assert grouped["bucket_flushes"] < bucketed["bucket_flushes"]
+
+    def test_fine_grained_counts_remote_updates(self):
+        r = small("fine-grained")
+        assert r["remote_updates"] > 0

@@ -1,0 +1,79 @@
+"""Tests for the multi-link microbenchmark (Fig 4.2 shapes)."""
+
+import pytest
+
+from repro.apps.microbench import (
+    run_flood_bandwidth,
+    run_roundtrip_latency,
+    sweep_multilink,
+)
+
+SMALL = (8,)
+MID = (16 << 10,)
+BIG = (1 << 20,)
+
+
+class TestLatency:
+    def test_small_message_latency_band(self):
+        """Paper Fig 4.2a: ~4 µs round-trip at small sizes on QDR."""
+        lat = run_roundtrip_latency(1, "processes", sizes=SMALL, repeats=5)
+        assert 2.0 < lat[8] < 8.0
+
+    def test_latency_grows_with_size(self):
+        lat = run_roundtrip_latency(
+            1, "processes", sizes=(8, 32 << 10), repeats=5
+        )
+        assert lat[32 << 10] > 2 * lat[8]
+
+    def test_pthreads_latency_serializes_at_large_sizes(self):
+        """Fig 4.2a: 8 pthread pairs on one connection queue up."""
+        proc = run_roundtrip_latency(8, "processes", sizes=MID, repeats=5)
+        pthr = run_roundtrip_latency(8, "pthreads", sizes=MID, repeats=5)
+        assert pthr[16 << 10] > 1.2 * proc[16 << 10]
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError):
+            run_roundtrip_latency(1, "fibers")
+
+    def test_bad_pair_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_roundtrip_latency(0, "processes")
+
+
+class TestBandwidth:
+    def test_single_link_band(self):
+        """Paper: a single QDR link pair floods at ~1.4 GB/s."""
+        bw = run_flood_bandwidth(1, "processes", sizes=BIG, messages=16)
+        assert 1100 < bw[1 << 20] < 1700
+
+    def test_multi_link_aggregate_band(self):
+        """Paper: multiple pairs reach the ~2.4 GB/s NIC limit."""
+        bw = run_flood_bandwidth(2, "processes", sizes=BIG, messages=16)
+        assert 2000 < bw[1 << 20] < 2600
+
+    def test_bandwidth_grows_with_size(self):
+        bw = run_flood_bandwidth(1, "processes", sizes=(256, 1 << 20), messages=16)
+        assert bw[1 << 20] > 3 * bw[256]
+
+    def test_pthreads_extract_less_than_processes(self):
+        """Fig 4.2b: shared connection caps the aggregate."""
+        proc = run_flood_bandwidth(4, "processes", sizes=BIG, messages=8)
+        pthr = run_flood_bandwidth(4, "pthreads", sizes=BIG, messages=8)
+        assert pthr[1 << 20] < 0.8 * proc[1 << 20]
+
+    def test_more_links_more_bandwidth_until_nic(self):
+        b1 = run_flood_bandwidth(1, "processes", sizes=BIG, messages=8)[1 << 20]
+        b4 = run_flood_bandwidth(4, "processes", sizes=BIG, messages=8)[1 << 20]
+        assert b4 > 1.3 * b1
+
+
+class TestSweep:
+    def test_sweep_structure(self):
+        out = sweep_multilink(
+            pair_counts=(1, 2), latency_sizes=(8,), bandwidth_sizes=(1 << 16,),
+        )
+        assert (1, "single") in out["latency_us"]
+        assert (2, "processes") in out["bandwidth_mbs"]
+        assert (2, "pthreads") in out["bandwidth_mbs"]
+        # the 1-link series is reported once
+        assert (1, "pthreads") not in out["latency_us"]

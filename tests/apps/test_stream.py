@@ -1,0 +1,86 @@
+"""Tests for the STREAM variants: Table 3.1 / Table 4.1 shapes."""
+
+import pytest
+
+from repro.apps.stream import run_hybrid_stream, run_pure, run_twisted
+from repro.machine.presets import lehman
+
+N = 200_000  # small element count keeps tests fast; ratios are size-free
+
+
+@pytest.fixture(scope="module")
+def twisted():
+    return {
+        v: run_twisted(v, preset=lehman(nodes=1), elements_per_thread=N)
+        for v in ("upc-baseline", "upc-relocalization", "upc-cast", "openmp")
+    }
+
+
+class TestTwistedTriad:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            run_twisted("upc-quantum")
+
+    def test_baseline_is_slowest(self, twisted):
+        base = twisted["upc-baseline"]["throughput_gbs"]
+        for v in ("upc-relocalization", "upc-cast", "openmp"):
+            assert twisted[v]["throughput_gbs"] > base
+
+    def test_cast_matches_openmp(self, twisted):
+        """Table 3.1: 23.2 vs 23.4 GB/s — within a few percent."""
+        cast = twisted["upc-cast"]["throughput_gbs"]
+        omp = twisted["openmp"]["throughput_gbs"]
+        assert cast == pytest.approx(omp, rel=0.05)
+
+    def test_relocalization_in_between(self, twisted):
+        relo = twisted["upc-relocalization"]["throughput_gbs"]
+        assert twisted["upc-baseline"]["throughput_gbs"] < relo
+        assert relo < twisted["upc-cast"]["throughput_gbs"]
+
+    def test_baseline_absolute_band(self, twisted):
+        """Paper: 3.2 GB/s. Accept 2.5-4.5."""
+        assert 2.5 < twisted["upc-baseline"]["throughput_gbs"] < 4.5
+
+    def test_openmp_absolute_band(self, twisted):
+        """Paper: 23.4 GB/s. Accept 20-27."""
+        assert 20 < twisted["openmp"]["throughput_gbs"] < 27
+
+    def test_cast_speedup_factor(self, twisted):
+        """Paper: 23.2/3.2 ~ 7x. Accept 4-10x."""
+        ratio = (
+            twisted["upc-cast"]["throughput_gbs"]
+            / twisted["upc-baseline"]["throughput_gbs"]
+        )
+        assert 4 < ratio < 10
+
+
+class TestHybridStream:
+    def test_pure_upc_band(self):
+        r = run_pure("upc", elements_per_thread=N)
+        assert 20 < r["throughput_gbs"] < 27
+
+    def test_pure_openmp_band(self):
+        r = run_pure("openmp", elements_per_thread=N)
+        assert 20 < r["throughput_gbs"] < 27
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            run_pure("tbb")
+
+    def test_unbound_1x8_is_half(self):
+        """Table 4.1: 13.9 vs 24.7 — the first-touch trap."""
+        bad = run_hybrid_stream(1, 8, bound=False, total_elements=8 * N)
+        good = run_hybrid_stream(2, 4, bound=True, total_elements=8 * N)
+        assert bad["throughput_gbs"] < 0.65 * good["throughput_gbs"]
+
+    def test_bound_2x4_and_4x2_match(self):
+        a = run_hybrid_stream(2, 4, bound=True, total_elements=8 * N)
+        b = run_hybrid_stream(4, 2, bound=True, total_elements=8 * N)
+        assert a["throughput_gbs"] == pytest.approx(b["throughput_gbs"], rel=0.1)
+
+    def test_bound_hybrid_matches_pure(self):
+        hyb = run_hybrid_stream(2, 4, bound=True, total_elements=8 * N)
+        pure = run_pure("upc", elements_per_thread=N)
+        assert hyb["throughput_gbs"] == pytest.approx(
+            pure["throughput_gbs"], rel=0.15
+        )

@@ -1,0 +1,53 @@
+"""Shared fixtures for GASNet-layer tests."""
+
+import pytest
+
+from repro.gasnet import BackendConfig, GasnetRuntime, ThreadLocation
+from repro.machine import (
+    MachineSpec,
+    MachineTopology,
+    MemoryParams,
+    MemorySystem,
+    NodeSpec,
+)
+from repro.network import NetworkParams
+from repro.sim import Simulator
+
+GB = 1e9
+
+
+def build_runtime(
+    sim,
+    nodes=2,
+    threads_per_node=2,
+    mode="processes",
+    pshm=True,
+    threads_per_process=1,
+    net_kwargs=None,
+    mem_kwargs=None,
+    backend_kwargs=None,
+):
+    """Assemble a GasnetRuntime with a compact thread layout."""
+    topo = MachineTopology(
+        MachineSpec(name="t", nodes=nodes, node=NodeSpec(2, 2, 1))
+    )
+    mem = MemorySystem(sim, topo, MemoryParams(**(mem_kwargs or {})))
+    net = NetworkParams(**(net_kwargs or {}))
+    locations = []
+    nthreads = nodes * threads_per_node
+    for t in range(nthreads):
+        node = t // threads_per_node
+        local = t % threads_per_node
+        pu = topo.nodes[node].pu_indices[local]
+        if mode == "processes":
+            proc = t
+        else:
+            proc = t // threads_per_process
+        locations.append(ThreadLocation(t, node, pu, proc))
+    backend = BackendConfig(mode=mode, pshm=pshm, **(backend_kwargs or {}))
+    return GasnetRuntime(sim, topo, mem, net, locations, backend)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()

@@ -1,0 +1,208 @@
+"""Unit tests for the GASNet core runtime."""
+
+import pytest
+
+from repro.errors import GasnetError
+from repro.gasnet import BackendConfig, GasnetRuntime, ThreadLocation
+from repro.machine import (
+    MachineSpec,
+    MachineTopology,
+    MemoryParams,
+    MemorySystem,
+    NodeSpec,
+)
+from repro.network import NetworkParams
+from repro.sim import Simulator
+
+from tests.gasnet.conftest import build_runtime
+
+
+class TestBackendConfig:
+    def test_labels(self):
+        assert BackendConfig(mode="processes", pshm=False).label == "processes"
+        assert BackendConfig(mode="pthreads", pshm=True).label == "pthreads+pshm"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(GasnetError):
+            BackendConfig(mode="fibers")
+
+
+class TestAttachment:
+    def test_locations_registered(self, sim):
+        rt = build_runtime(sim, nodes=2, threads_per_node=2)
+        assert rt.nthreads == 4
+        assert rt.location(3).node == 1
+
+    def test_unknown_thread_rejected(self, sim):
+        rt = build_runtime(sim)
+        with pytest.raises(GasnetError):
+            rt.location(99)
+
+    def test_non_dense_ids_rejected(self, sim):
+        topo = MachineTopology(MachineSpec(name="t", nodes=1, node=NodeSpec(1, 2, 1)))
+        mem = MemorySystem(sim, topo, MemoryParams())
+        locs = [ThreadLocation(1, 0, 0, 0)]
+        with pytest.raises(GasnetError, match="dense"):
+            GasnetRuntime(sim, topo, mem, NetworkParams(), locs)
+
+    def test_pu_node_mismatch_rejected(self, sim):
+        topo = MachineTopology(MachineSpec(name="t", nodes=2, node=NodeSpec(1, 2, 1)))
+        mem = MemorySystem(sim, topo, MemoryParams())
+        locs = [ThreadLocation(0, 1, 0, 0)]  # PU 0 is on node 0
+        with pytest.raises(GasnetError, match="not on node"):
+            GasnetRuntime(sim, topo, mem, NetworkParams(), locs)
+
+    def test_segment_socket_is_first_touch(self, sim):
+        rt = build_runtime(sim, nodes=1, threads_per_node=4)
+        # node has 2 sockets x 2 cores; threads 0,1 on socket 0 and 2,3 on 1
+        assert rt.segment_socket(0) == 0
+        assert rt.segment_socket(3) == 1
+
+
+class TestBypassPredicate:
+    def test_processes_pshm_bypass_within_node(self, sim):
+        rt = build_runtime(sim, nodes=2, threads_per_node=2, mode="processes", pshm=True)
+        assert rt.can_bypass(0, 1)
+        assert not rt.can_bypass(0, 2)
+
+    def test_processes_no_pshm_never_bypass(self, sim):
+        rt = build_runtime(sim, mode="processes", pshm=False)
+        assert not rt.can_bypass(0, 1)
+        assert rt.can_bypass(0, 0)  # always shares memory with itself
+
+    def test_pthreads_bypass_within_process(self, sim):
+        rt = build_runtime(
+            sim, nodes=1, threads_per_node=4, mode="pthreads",
+            pshm=False, threads_per_process=2,
+        )
+        assert rt.can_bypass(0, 1)
+        assert not rt.can_bypass(1, 2)
+
+    def test_pthreads_pshm_bypass_whole_node(self, sim):
+        rt = build_runtime(
+            sim, nodes=1, threads_per_node=4, mode="pthreads",
+            pshm=True, threads_per_process=2,
+        )
+        assert rt.can_bypass(0, 3)
+
+    def test_supernode_peers_includes_self(self, sim):
+        rt = build_runtime(sim, nodes=2, threads_per_node=2, pshm=True)
+        assert 0 in rt.supernode_peers(0)
+        assert rt.supernode_peers(0) == (0, 1)
+
+
+class TestXfer:
+    def _run_xfer(self, sim, rt, src, dst, nbytes, **kw):
+        def proc(rt):
+            yield from rt.xfer(src, dst, nbytes, **kw)
+            return rt.sim.now
+
+        p = sim.spawn(proc(rt))
+        sim.run()
+        sim.raise_failures()
+        return p.result
+
+    def test_remote_put_uses_network(self, sim):
+        rt = build_runtime(sim, nodes=2, threads_per_node=1, pshm=True)
+        t = self._run_xfer(sim, rt, 0, 1, 1 << 20)
+        expected = rt.fabric.params.message_time(1 << 20)
+        assert t > expected * 0.9
+        assert rt.stats.get_count("gasnet.put") == 1
+        assert rt.stats.get_count("gasnet.bypass") == 0
+
+    def test_local_put_bypasses_with_pshm(self, sim):
+        rt = build_runtime(sim, nodes=1, threads_per_node=2, pshm=True)
+        self._run_xfer(sim, rt, 0, 1, 1 << 20)
+        assert rt.stats.get_count("gasnet.bypass") == 1
+
+    def test_local_put_without_pshm_uses_loopback(self, sim):
+        rt = build_runtime(sim, nodes=1, threads_per_node=2, pshm=False)
+        self._run_xfer(sim, rt, 0, 1, 1 << 20)
+        assert rt.stats.get_count("gasnet.bypass") == 0
+        assert rt.stats.get_count("net.loopback_messages") == 1
+
+    def test_pshm_bypass_faster_than_loopback(self):
+        times = {}
+        for pshm in (True, False):
+            sim = Simulator()
+            rt = build_runtime(sim, nodes=1, threads_per_node=2, pshm=pshm)
+            times[pshm] = self._run_xfer(sim, rt, 0, 1, 4 << 20)
+        assert times[True] < times[False]
+
+    def test_privatized_faster_than_runtime_path(self):
+        times = {}
+        for privatized in (True, False):
+            sim = Simulator()
+            rt = build_runtime(sim, nodes=1, threads_per_node=2, pshm=True)
+            times[privatized] = self._run_xfer(
+                sim, rt, 0, 1, 4096, privatized=privatized
+            )
+        assert times[True] < times[False]
+
+    def test_privatized_across_nodes_rejected(self, sim):
+        rt = build_runtime(sim, nodes=2, threads_per_node=1, pshm=True)
+
+        def proc(rt):
+            yield from rt.xfer(0, 1, 8, privatized=True)
+
+        p = sim.spawn(proc(rt))
+        sim.run()
+        assert isinstance(p.exc, GasnetError)
+
+    def test_get_pays_extra_latency(self):
+        def time_of(direction):
+            sim = Simulator()
+            rt = build_runtime(
+                sim, nodes=2, threads_per_node=1, pshm=True,
+                net_kwargs={"latency": 10e-6},
+            )
+            return self._run_xfer(sim, rt, 0, 1, 8, direction=direction)
+
+        assert time_of("get") > time_of("put") + 5e-6
+
+    def test_bad_direction_rejected(self, sim):
+        rt = build_runtime(sim)
+
+        def proc(rt):
+            yield from rt.xfer(0, 1, 8, direction="push")
+
+        p = sim.spawn(proc(rt))
+        sim.run()
+        assert isinstance(p.exc, GasnetError)
+
+
+class TestAmRoundtrip:
+    def test_shared_memory_round_is_cheap(self, sim):
+        rt = build_runtime(sim, nodes=1, threads_per_node=2, pshm=True)
+
+        def proc(rt):
+            yield from rt.am_roundtrip(0, 1)
+            return rt.sim.now
+
+        p = sim.spawn(proc(rt))
+        sim.run()
+        assert p.result == pytest.approx(rt.backend.shm_roundtrip)
+
+    def test_network_round_pays_two_flights(self, sim):
+        rt = build_runtime(
+            sim, nodes=2, threads_per_node=1, pshm=True,
+            net_kwargs={"latency": 5e-6},
+        )
+
+        def proc(rt):
+            yield from rt.am_roundtrip(0, 1)
+            return rt.sim.now
+
+        p = sim.spawn(proc(rt))
+        sim.run()
+        assert p.result > 10e-6
+
+    def test_counts_recorded(self, sim):
+        rt = build_runtime(sim, nodes=1, threads_per_node=2, pshm=True)
+
+        def proc(rt):
+            yield from rt.am_roundtrip(0, 1)
+
+        sim.spawn(proc(rt))
+        sim.run()
+        assert rt.stats.get_count("gasnet.am_roundtrips") == 1

@@ -1,0 +1,93 @@
+"""Unit tests for the RDMA-read (fetch) path of the fabric."""
+
+import pytest
+
+from repro.machine import MachineSpec, MachineTopology, NodeSpec
+from repro.network import Fabric, NetworkParams
+from repro.sim import Simulator
+
+GB = 1e9
+
+
+def make_fabric(sim, **params):
+    topo = MachineTopology(MachineSpec(name="t", nodes=2, node=NodeSpec(2, 4, 1)))
+    defaults = dict(
+        latency=2e-6, gap=0.0, connection_bw=1 * GB, nic_bw=2 * GB,
+        loopback_bw=4 * GB, loopback_latency=0.5e-6, qp_penalty=0.0,
+    )
+    defaults.update(params)
+    return Fabric(sim, topo, NetworkParams(**defaults))
+
+
+def timed_fetch(sim, fab, ini, tgt, nbytes):
+    def proc():
+        yield from fab.fetch(ini, tgt, nbytes)
+        return sim.now
+
+    p = sim.spawn(proc())
+    sim.run()
+    sim.raise_failures()
+    return p.result
+
+
+class TestFetch:
+    def test_small_fetch_pays_double_latency(self):
+        sim = Simulator()
+        fab = make_fabric(sim)
+        fab.register_endpoint(0, 0)
+        fab.register_endpoint(1, 1)
+        t = timed_fetch(sim, fab, 0, 1, 8)
+        assert t >= 4e-6  # request flight + response flight
+
+    def test_fetch_uses_initiator_connection(self):
+        """Two fetches on a shared initiator connection serialize."""
+        sim = Simulator()
+        fab = make_fabric(sim, latency=0.0)
+        fab.register_endpoint(0, 0, connection_key="p")
+        fab.register_endpoint(1, 0, connection_key="p")
+        fab.register_endpoint(10, 1)
+        fab.register_endpoint(11, 1)
+        ends = []
+
+        def proc(ini, tgt):
+            yield from fab.fetch(ini, tgt, 1 * GB)
+            ends.append(sim.now)
+
+        sim.spawn(proc(0, 10))
+        sim.spawn(proc(1, 11))
+        sim.run()
+        sim.raise_failures()
+        assert sorted(ends)[1] == pytest.approx(2.0, rel=0.02)
+
+    def test_intra_node_fetch_skips_wire(self):
+        sim = Simulator()
+        fab = make_fabric(sim, latency=1.0)
+        fab.register_endpoint(0, 0)
+        fab.register_endpoint(1, 0)
+        t = timed_fetch(sim, fab, 0, 1, 64)
+        assert t < 1e-3  # never paid the 1s wire latency
+
+    def test_negative_fetch_rejected(self):
+        from repro.errors import NetworkError
+
+        sim = Simulator()
+        fab = make_fabric(sim)
+        fab.register_endpoint(0, 0)
+        fab.register_endpoint(1, 1)
+
+        def proc():
+            yield from fab.fetch(0, 1, -1)
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert isinstance(p.exc, NetworkError)
+
+    def test_fetch_drains_target_tx(self):
+        """Read data streams out of the *target's* NIC."""
+        sim = Simulator()
+        fab = make_fabric(sim)
+        fab.register_endpoint(0, 0)
+        fab.register_endpoint(1, 1)
+        timed_fetch(sim, fab, 0, 1, 1 << 20)
+        assert fab.nic_tx[1].total_bytes == pytest.approx(1 << 20)
+        assert fab.nic_rx[0].total_bytes == pytest.approx(1 << 20)

@@ -1,0 +1,42 @@
+"""Unit tests for supernode discovery."""
+
+import pytest
+
+from repro.errors import GasnetError
+from repro.gasnet import discover_supernodes
+
+
+class TestDiscovery:
+    def test_processes_without_pshm_are_singletons(self):
+        groups = discover_supernodes([0, 0, 1, 1], [0, 1, 2, 3], pshm=False)
+        assert groups == [(0,), (1,), (2,), (3,)]
+
+    def test_processes_with_pshm_group_by_node(self):
+        groups = discover_supernodes([0, 0, 1, 1], [0, 1, 2, 3], pshm=True)
+        assert groups == [(0, 1), (2, 3)]
+
+    def test_pthreads_without_pshm_group_by_process(self):
+        groups = discover_supernodes([0, 0, 0, 0], [0, 0, 1, 1], pshm=False)
+        assert groups == [(0, 1), (2, 3)]
+
+    def test_pthreads_with_pshm_group_whole_node(self):
+        groups = discover_supernodes([0, 0, 0, 0], [0, 0, 1, 1], pshm=True)
+        assert groups == [(0, 1, 2, 3)]
+
+    def test_every_thread_in_exactly_one_group(self):
+        groups = discover_supernodes([0, 1, 0, 1, 0], [0, 1, 2, 3, 4], pshm=True)
+        seen = [t for g in groups for t in g]
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+        assert len(seen) == len(set(seen))
+
+    def test_process_spanning_nodes_rejected(self):
+        with pytest.raises(GasnetError, match="spans nodes"):
+            discover_supernodes([0, 1], [0, 0], pshm=False)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(GasnetError, match="mismatch"):
+            discover_supernodes([0, 0], [0], pshm=False)
+
+    def test_groups_ordered_by_first_member(self):
+        groups = discover_supernodes([1, 0], [0, 1], pshm=True)
+        assert groups == [(0,), (1,)]

@@ -1,0 +1,65 @@
+"""Unit tests for result containers and rendering."""
+
+from repro.harness.reporting import ExperimentResult, format_series, format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_headers(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "22" in lines[3]
+
+    def test_explicit_columns_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        out = format_table(rows, columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_float_formatting(self):
+        rows = [{"v": 0.123456}, {"v": 12345.6}, {"v": 0.0001}]
+        out = format_table(rows)
+        assert "0.123" in out
+        assert "1.23e+04" in out or "12345" in out.replace(",", "")
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        out = format_table(rows, columns=["a", "b"])
+        assert out  # renders without KeyError
+
+
+class TestFormatSeries:
+    def test_empty(self):
+        assert format_series({}) == "(no series)"
+
+    def test_union_of_x_values(self):
+        series = {"s1": {1: 10, 2: 20}, "s2": {2: 200, 3: 300}}
+        out = format_series(series, x_label="n")
+        lines = out.splitlines()
+        assert lines[0].startswith("n")
+        assert len(lines) == 2 + 3  # header + sep + 3 x values
+
+
+class TestExperimentResult:
+    def test_render_contains_everything(self):
+        r = ExperimentResult(
+            experiment_id="x1", title="Test artifact", scale="quick",
+            rows=[{"k": 1}], series={"s": {1: 2}},
+            paper_values=["paper says 42"], notes=["a note"],
+        )
+        out = r.render()
+        assert "Test artifact" in out
+        assert "paper says 42" in out
+        assert "a note" in out
+        assert "Shape check: OK" in out
+
+    def test_render_failures(self):
+        r = ExperimentResult("x1", "t", "quick",
+                             shape_failures=["thing A broke"])
+        out = r.render()
+        assert not r.shape_ok
+        assert "SHAPE MISMATCH" in out
+        assert "thing A broke" in out

@@ -1,0 +1,73 @@
+"""Unit tests for the experiment registry and CLI plumbing."""
+
+import pytest
+
+from repro.harness import EXPERIMENTS, get_experiment, run_experiment
+from repro.harness.__main__ import main as cli_main
+
+
+class TestRegistry:
+    def test_all_ten_artifacts_registered(self):
+        ids = EXPERIMENTS.ids()
+        assert sorted(ids) == sorted(
+            ["t2_1", "t3_1", "t3_2", "f3_3", "f3_4",
+             "f4_2", "t4_1", "f4_4", "f4_5", "f4_6"]
+        )
+
+    def test_contains(self):
+        assert "t3_1" in EXPERIMENTS
+        assert "t9_9" not in EXPERIMENTS
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("f0_0")
+
+    def test_lazy_loading_caches(self):
+        a = get_experiment("t2_1")
+        b = get_experiment("t2_1")
+        assert a is b
+
+    def test_bad_scale_rejected(self):
+        exp = get_experiment("t2_1")
+        with pytest.raises(ValueError, match="scale"):
+            exp(scale="galactic")
+
+    def test_every_experiment_has_title(self):
+        for eid in EXPERIMENTS.ids():
+            exp = get_experiment(eid)
+            assert exp.experiment_id == eid
+            assert exp.title
+
+
+class TestRunExperiment:
+    def test_t2_1_runs_instantly(self):
+        result = run_experiment("t2_1")
+        assert result.shape_ok
+        assert result.rows[0]["Machine Name"] == "Lehman"
+
+    def test_t3_1_quick(self):
+        result = run_experiment("t3_1", scale="quick")
+        assert result.shape_ok
+        assert len(result.rows) == 4
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "t3_1" in out and "f4_6" in out
+
+    def test_run_one(self, capsys):
+        assert cli_main(["t2_1"]) == 0
+        out = capsys.readouterr().out
+        assert "Platform Characteristics" in out
+        assert "Shape check: OK" in out
+
+    def test_out_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert cli_main(["t2_1", "--out", str(target)]) == 0
+        assert "Lehman" in target.read_text()
+
+    def test_no_experiments_errors(self):
+        with pytest.raises(SystemExit):
+            cli_main([])

@@ -1,0 +1,135 @@
+"""Property-based invariants across the stack (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SharedBandwidth, SimBarrier, Simulator
+from repro.upc import UpcProgram, collectives
+from repro.machine.presets import generic_smp
+
+
+class TestBandwidthConservation:
+    @given(
+        transfers=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5.0),    # start time
+                st.floats(min_value=1.0, max_value=1e6),    # bytes
+            ),
+            min_size=1, max_size=12,
+        ),
+        rate=st.floats(min_value=10.0, max_value=1e6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_work_conservation(self, transfers, rate):
+        """A PS pipe never delivers faster than rate and never loses work:
+        last completion >= total_bytes/rate + first_start, and every
+        transfer completes."""
+        sim = Simulator()
+        pipe = SharedBandwidth(sim, rate=rate)
+        done = []
+
+        def proc(sim, pipe, start, nbytes):
+            yield sim.delay(start)
+            yield pipe.transfer(nbytes)
+            done.append(sim.now)
+
+        for start, nbytes in transfers:
+            sim.spawn(proc(sim, pipe, start, nbytes))
+        sim.run()
+        sim.raise_failures()
+        assert len(done) == len(transfers)
+        total = sum(n for _s, n in transfers)
+        first = min(s for s, _n in transfers)
+        assert max(done) >= first + total / rate * (1 - 1e-9)
+
+    @given(
+        nbytes=st.floats(min_value=1.0, max_value=1e9),
+        n_streams=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equal_streams_finish_together(self, nbytes, n_streams):
+        sim = Simulator()
+        pipe = SharedBandwidth(sim, rate=1e6)
+        ends = []
+
+        def proc(sim, pipe):
+            yield pipe.transfer(nbytes)
+            ends.append(sim.now)
+
+        for _ in range(n_streams):
+            sim.spawn(proc(sim, pipe))
+        sim.run()
+        assert max(ends) - min(ends) <= 1e-9 * max(ends)
+        assert max(ends) == pytest.approx(n_streams * nbytes / 1e6, rel=1e-6)
+
+
+class TestBarrierProperties:
+    @given(
+        parties=st.integers(min_value=1, max_value=12),
+        rounds=st.integers(min_value=1, max_value=5),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_barrier_generations_never_mix(self, parties, rounds, data):
+        """No process observes a generation out of order, for arbitrary
+        arrival skews."""
+        sim = Simulator()
+        bar = SimBarrier(sim, parties=parties)
+        observed = {p: [] for p in range(parties)}
+        delays = [
+            [data.draw(st.floats(min_value=0.0, max_value=3.0)) for _ in range(rounds)]
+            for _ in range(parties)
+        ]
+
+        def worker(sim, bar, p):
+            for r in range(rounds):
+                yield sim.delay(delays[p][r])
+                gen = yield bar.arrive()
+                observed[p].append(gen)
+
+        for p in range(parties):
+            sim.spawn(worker(sim, bar, p))
+        sim.run()
+        sim.raise_failures()
+        for p in range(parties):
+            assert observed[p] == list(range(rounds))
+
+
+class TestCollectiveProperties:
+    @given(
+        nthreads=st.integers(min_value=1, max_value=8),
+        values=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_allreduce_equals_python_reduce(self, nthreads, values):
+        vals = [values.draw(st.integers(-1000, 1000)) for _ in range(nthreads)]
+        prog = UpcProgram(generic_smp(nodes=2), threads=nthreads)
+
+        def main(upc):
+            out = yield from collectives.allreduce(
+                upc, upc.program.world, vals[upc.MYTHREAD], lambda a, b: a + b
+            )
+            return out
+
+        res = prog.run(main)
+        assert res.returns == [sum(vals)] * nthreads
+
+    @given(
+        nthreads=st.integers(min_value=2, max_value=8),
+        root=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_broadcast_from_any_root(self, nthreads, root):
+        r = root.draw(st.integers(0, nthreads - 1))
+        prog = UpcProgram(generic_smp(nodes=2), threads=nthreads)
+
+        def main(upc):
+            payload = ("gold", upc.MYTHREAD) if upc.MYTHREAD == r else None
+            out = yield from collectives.broadcast(
+                upc, upc.program.world, 32, root_rank=r, value=payload
+            )
+            return out
+
+        res = prog.run(main)
+        assert res.returns == [("gold", r)] * nthreads

@@ -1,0 +1,263 @@
+"""Unit tests for the memory-system cost model."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.machine import MachineSpec, MachineTopology, MemoryParams, MemorySystem, NodeSpec
+from repro.machine.memory import SmtCore
+from repro.sim import Simulator
+
+GB = 1e9
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_system(sim, smt=2, smt_factor=1.25, **mem_kwargs):
+    topo = MachineTopology(
+        MachineSpec(
+            name="t", nodes=2,
+            node=NodeSpec(sockets=2, cores_per_socket=2, smt_per_core=smt),
+        )
+    )
+    params = MemoryParams(smt_throughput_factor=smt_factor, **mem_kwargs)
+    return topo, MemorySystem(sim, topo, params)
+
+
+class TestMemoryParams:
+    def test_traffic_with_write_allocate(self):
+        p = MemoryParams(write_allocate=True)
+        assert p.traffic_bytes(100.0, 50.0) == pytest.approx(200.0)
+
+    def test_traffic_without_write_allocate(self):
+        p = MemoryParams(write_allocate=False)
+        assert p.traffic_bytes(100.0, 50.0) == pytest.approx(150.0)
+
+    def test_bad_numa_factor(self):
+        with pytest.raises(TopologyError):
+            MemoryParams(numa_factor=0.9)
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(TopologyError):
+            MemoryParams(socket_stream_bw=0.0)
+
+    def test_bad_smt_factor(self):
+        with pytest.raises(TopologyError):
+            MemoryParams(smt_throughput_factor=0.5)
+
+
+class TestSmtCore:
+    def test_single_thread_full_rate(self, sim):
+        core = SmtCore(sim, smt_ways=2, smt_factor=1.25)
+
+        def proc(sim, core):
+            yield core.transfer(2.0)
+            return sim.now
+
+        p = sim.spawn(proc(sim, core))
+        sim.run()
+        assert p.result == pytest.approx(2.0)
+
+    def test_two_smt_threads_share_boosted_rate(self, sim):
+        core = SmtCore(sim, smt_ways=2, smt_factor=1.25)
+        ends = []
+
+        def proc(sim, core):
+            yield core.transfer(1.0)
+            ends.append(sim.now)
+
+        sim.spawn(proc(sim, core))
+        sim.spawn(proc(sim, core))
+        sim.run()
+        # aggregate 1.25 -> each at 0.625 -> 1.0/0.625 = 1.6 s
+        assert ends == [pytest.approx(1.6), pytest.approx(1.6)]
+
+    def test_oversubscription_is_pure_timeslicing_without_smt(self, sim):
+        core = SmtCore(sim, smt_ways=1, smt_factor=1.0)
+        ends = []
+
+        def proc(sim, core):
+            yield core.transfer(1.0)
+            ends.append(sim.now)
+
+        sim.spawn(proc(sim, core))
+        sim.spawn(proc(sim, core))
+        sim.run()
+        assert ends == [pytest.approx(2.0), pytest.approx(2.0)]
+
+    def test_beyond_smt_ways_no_extra_boost(self, sim):
+        core = SmtCore(sim, smt_ways=2, smt_factor=1.25)
+        ends = []
+
+        def proc(sim, core):
+            yield core.transfer(1.0)
+            ends.append(sim.now)
+
+        for _ in range(4):
+            sim.spawn(proc(sim, core))
+        sim.run()
+        # aggregate stays 1.25 with 4 threads -> total work 4 / 1.25 = 3.2 s
+        assert ends[-1] == pytest.approx(3.2)
+
+
+class TestCompute:
+    def test_compute_simple(self, sim):
+        topo, mem = make_system(sim)
+
+        def proc(sim, mem):
+            yield mem.compute(0, 0.5)
+            return sim.now
+
+        p = sim.spawn(proc(sim, mem))
+        sim.run()
+        assert p.result == pytest.approx(0.5)
+
+    def test_negative_work_rejected(self, sim):
+        topo, mem = make_system(sim)
+        with pytest.raises(ValueError):
+            mem.compute(0, -1.0)
+
+    def test_different_cores_do_not_contend(self, sim):
+        topo, mem = make_system(sim)
+        ends = []
+
+        def proc(sim, mem, pu):
+            yield mem.compute(pu, 1.0)
+            ends.append(sim.now)
+
+        # PUs 0 and 2 are different cores (smt=2)
+        sim.spawn(proc(sim, mem, 0))
+        sim.spawn(proc(sim, mem, 2))
+        sim.run()
+        assert ends == [pytest.approx(1.0), pytest.approx(1.0)]
+
+
+class TestStream:
+    def test_local_stream_time(self, sim):
+        topo, mem = make_system(
+            sim, socket_stream_bw=10 * GB, core_stream_bw=100 * GB,
+            write_allocate=False,
+        )
+
+        def proc(sim, mem):
+            yield from mem.stream(0, bytes_read=10 * GB, bytes_written=0, home_socket=0)
+            return sim.now
+
+        p = sim.spawn(proc(sim, mem))
+        sim.run()
+        assert p.result == pytest.approx(1.0)
+
+    def test_core_port_caps_single_thread(self, sim):
+        topo, mem = make_system(
+            sim, socket_stream_bw=100 * GB, core_stream_bw=5 * GB,
+            write_allocate=False,
+        )
+
+        def proc(sim, mem):
+            yield from mem.stream(0, bytes_read=10 * GB, bytes_written=0, home_socket=0)
+            return sim.now
+
+        p = sim.spawn(proc(sim, mem))
+        sim.run()
+        assert p.result == pytest.approx(2.0)
+
+    def test_socket_contention_halves_throughput(self, sim):
+        topo, mem = make_system(
+            sim, socket_stream_bw=10 * GB, core_stream_bw=100 * GB,
+            write_allocate=False,
+        )
+        ends = []
+
+        def proc(sim, mem, pu):
+            yield from mem.stream(pu, bytes_read=10 * GB, bytes_written=0, home_socket=0)
+            ends.append(sim.now)
+
+        # PUs 0 and 2: different cores, same socket 0
+        sim.spawn(proc(sim, mem, 0))
+        sim.spawn(proc(sim, mem, 2))
+        sim.run()
+        assert ends == [pytest.approx(2.0), pytest.approx(2.0)]
+
+    def test_remote_socket_pays_numa_factor(self, sim):
+        topo, mem = make_system(
+            sim, socket_stream_bw=100 * GB, core_stream_bw=10 * GB,
+            numa_factor=1.5, interconnect_bw=1000 * GB, write_allocate=False,
+        )
+
+        def proc(sim, mem, home):
+            yield from mem.stream(0, bytes_read=10 * GB, bytes_written=0, home_socket=home)
+            return sim.now
+
+        local = sim.spawn(proc(sim, mem, 0))
+        sim.run()
+        t_local = local.result
+        sim2 = Simulator()
+        topo2, mem2 = make_system(
+            sim2, socket_stream_bw=100 * GB, core_stream_bw=10 * GB,
+            numa_factor=1.5, interconnect_bw=1000 * GB, write_allocate=False,
+        )
+        remote = sim2.spawn(proc(sim2, mem2, 1))
+        sim2.run()
+        assert remote.result == pytest.approx(t_local * 1.5)
+
+    def test_cross_node_stream_rejected(self, sim):
+        topo, mem = make_system(sim)
+
+        def proc(sim, mem):
+            # socket 2 is on node 1; PU 0 is on node 0
+            yield from mem.stream(0, 100.0, 0.0, home_socket=2)
+
+        p = sim.spawn(proc(sim, mem))
+        sim.run()
+        assert isinstance(p.exc, TopologyError)
+
+    def test_interconnect_bottleneck(self, sim):
+        """Cross-socket traffic can be capped by QPI/HT."""
+        topo, mem = make_system(
+            sim, socket_stream_bw=100 * GB, core_stream_bw=100 * GB,
+            numa_factor=1.0, interconnect_bw=2 * GB, write_allocate=False,
+        )
+
+        def proc(sim, mem):
+            yield from mem.stream(0, bytes_read=10 * GB, bytes_written=0, home_socket=1)
+            return sim.now
+
+        p = sim.spawn(proc(sim, mem))
+        sim.run()
+        assert p.result == pytest.approx(5.0)
+
+
+class TestTranslation:
+    def test_translation_overhead(self, sim):
+        topo, mem = make_system(sim, pointer_translation_time=2e-9)
+        assert mem.translation_overhead(1000) == pytest.approx(2e-6)
+
+    def test_charge_translation_takes_core_time(self, sim):
+        topo, mem = make_system(sim, pointer_translation_time=1e-3)
+
+        def proc(sim, mem):
+            yield mem.charge_translation(0, 100)
+            return sim.now
+
+        p = sim.spawn(proc(sim, mem))
+        sim.run()
+        assert p.result == pytest.approx(0.1)
+
+
+class TestAnalytic:
+    def test_uncontended_stream_time_matches_simulation(self, sim):
+        topo, mem = make_system(
+            sim, socket_stream_bw=10 * GB, core_stream_bw=6 * GB,
+            write_allocate=True,
+        )
+        t = mem.uncontended_stream_time(bytes_read=1 * GB, bytes_written=1 * GB)
+
+        def proc(sim, mem):
+            yield from mem.stream(0, 1 * GB, 1 * GB, home_socket=0)
+            return sim.now
+
+        p = sim.spawn(proc(sim, mem))
+        sim.run()
+        assert p.result == pytest.approx(t)

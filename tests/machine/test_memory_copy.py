@@ -1,0 +1,103 @@
+"""Unit tests for MemorySystem.copy (the privatized-memcpy cost path)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.machine import (
+    MachineSpec,
+    MachineTopology,
+    MemoryParams,
+    MemorySystem,
+    NodeSpec,
+)
+from repro.sim import Simulator
+
+GB = 1e9
+
+
+def make(sim, **kw):
+    topo = MachineTopology(
+        MachineSpec(name="t", nodes=2, node=NodeSpec(2, 2, 1))
+    )
+    defaults = dict(
+        socket_stream_bw=10 * GB, core_stream_bw=100 * GB,
+        numa_factor=1.0, interconnect_bw=1000 * GB, write_allocate=False,
+    )
+    defaults.update(kw)
+    return topo, MemorySystem(sim, topo, MemoryParams(**defaults))
+
+
+def run_copy(sim, mem, pu, nbytes, src, dst):
+    def proc():
+        yield from mem.copy(pu, nbytes, src, dst)
+        return sim.now
+
+    p = sim.spawn(proc())
+    sim.run()
+    sim.raise_failures()
+    return p.result
+
+
+class TestCopy:
+    def test_same_socket_copy_time(self):
+        sim = Simulator()
+        topo, mem = make(sim)
+        # read 10GB + write 10GB on one 10GB/s pipe -> 2s
+        t = run_copy(sim, mem, 0, 10 * GB, 0, 0)
+        assert t == pytest.approx(2.0)
+
+    def test_cross_socket_splits_pipes(self):
+        sim = Simulator()
+        topo, mem = make(sim)
+        # read on socket0 (1s), write on socket1 (1s), concurrent -> 1s
+        t = run_copy(sim, mem, 0, 10 * GB, 0, 1)
+        assert t == pytest.approx(1.0)
+
+    def test_write_allocate_doubles_write_leg(self):
+        sim = Simulator()
+        topo, mem = make(sim, write_allocate=True)
+        t = run_copy(sim, mem, 0, 10 * GB, 0, 1)
+        assert t == pytest.approx(2.0)  # write leg is 2x10GB on socket1
+
+    def test_remote_leg_pays_numa_on_core_port(self):
+        sim = Simulator()
+        topo, mem = make(sim, core_stream_bw=10 * GB, numa_factor=2.0,
+                         socket_stream_bw=1000 * GB)
+        # core port carries local read (1x) + remote write (2x numa) = 3x
+        t = run_copy(sim, mem, 0, 10 * GB, 0, 1)
+        assert t == pytest.approx(3.0)
+
+    def test_interconnect_carries_remote_traffic(self):
+        sim = Simulator()
+        topo, mem = make(sim, interconnect_bw=5 * GB,
+                         socket_stream_bw=1000 * GB)
+        # only the remote (write) leg crosses QPI: 10GB at 5GB/s -> 2s
+        t = run_copy(sim, mem, 0, 10 * GB, 0, 1)
+        assert t == pytest.approx(2.0)
+
+    def test_cross_node_copy_rejected(self):
+        sim = Simulator()
+        topo, mem = make(sim)
+
+        def proc():
+            yield from mem.copy(0, 100.0, 0, 2)  # socket 2 is on node 1
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert isinstance(p.exc, TopologyError)
+
+    def test_concurrent_copies_share_socket_pipe(self):
+        sim = Simulator()
+        topo, mem = make(sim)
+        ends = []
+
+        def proc(pu):
+            yield from mem.copy(pu, 5 * GB, 0, 0)
+            ends.append(sim.now)
+
+        # PUs 0 and 1: different cores, same socket
+        sim.spawn(proc(0))
+        sim.spawn(proc(1))
+        sim.run()
+        # 2 copies x (5+5)GB = 20GB through one 10GB/s pipe
+        assert max(ends) == pytest.approx(2.0)

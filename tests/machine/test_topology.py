@@ -1,0 +1,175 @@
+"""Unit and property tests for the machine topology."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.machine import Locality, MachineSpec, MachineTopology, NodeSpec
+
+
+def make_topo(nodes=2, sockets=2, cores=4, smt=2):
+    return MachineTopology(
+        MachineSpec(
+            name="t",
+            nodes=nodes,
+            node=NodeSpec(sockets=sockets, cores_per_socket=cores, smt_per_core=smt),
+        )
+    )
+
+
+class TestSpecs:
+    def test_node_spec_counts(self):
+        ns = NodeSpec(sockets=2, cores_per_socket=4, smt_per_core=2)
+        assert ns.cores == 8
+        assert ns.pus == 16
+
+    def test_machine_spec_counts(self):
+        ms = MachineSpec(name="m", nodes=4, node=NodeSpec(2, 4, 2))
+        assert ms.total_cores == 32
+        assert ms.total_pus == 64
+
+    @pytest.mark.parametrize("kwargs", [
+        {"sockets": 0}, {"cores_per_socket": 0}, {"smt_per_core": 0},
+    ])
+    def test_bad_node_spec_rejected(self, kwargs):
+        with pytest.raises(TopologyError):
+            NodeSpec(**kwargs)
+
+    def test_bad_machine_spec_rejected(self):
+        with pytest.raises(TopologyError):
+            MachineSpec(name="m", nodes=0)
+
+
+class TestTreeConstruction:
+    def test_counts(self):
+        topo = make_topo(nodes=3, sockets=2, cores=4, smt=2)
+        assert topo.total_nodes == 3
+        assert topo.total_sockets == 6
+        assert topo.total_cores == 24
+        assert topo.total_pus == 48
+
+    def test_pu_indices_are_dense(self):
+        topo = make_topo()
+        assert [p.index for p in topo.pus] == list(range(topo.total_pus))
+
+    def test_pu_smt_ordering_within_core(self):
+        """SMT siblings are adjacent in global PU index order."""
+        topo = make_topo(nodes=1, sockets=1, cores=2, smt=2)
+        core0 = topo.cores[0]
+        assert core0.pu_indices == (0, 1)
+        assert topo.pus[0].smt_index == 0
+        assert topo.pus[1].smt_index == 1
+
+    def test_socket_pu_membership(self):
+        topo = make_topo(nodes=1, sockets=2, cores=4, smt=2)
+        assert topo.sockets[0].pu_indices == tuple(range(8))
+        assert topo.sockets[1].pu_indices == tuple(range(8, 16))
+
+    def test_node_membership(self):
+        topo = make_topo(nodes=2, sockets=2, cores=4, smt=1)
+        assert topo.nodes[0].pu_indices == tuple(range(8))
+        assert topo.nodes[1].pu_indices == tuple(range(8, 16))
+
+    def test_lookups(self):
+        topo = make_topo()
+        pu = topo.pu(5)
+        assert topo.core_of(5).index == pu.core_index
+        assert topo.socket_of(5).index == pu.socket_index
+        assert topo.node_of(5).index == pu.node_index
+
+    def test_pu_out_of_range(self):
+        topo = make_topo()
+        with pytest.raises(TopologyError, match="out of range"):
+            topo.pu(topo.total_pus)
+
+    def test_describe(self):
+        topo = make_topo(nodes=2)
+        assert "2 nodes" in topo.describe()
+        assert repr(topo).startswith("<MachineTopology")
+
+
+class TestLocality:
+    def test_self(self):
+        topo = make_topo()
+        assert topo.locality(3, 3) == Locality.SELF
+
+    def test_smt_siblings(self):
+        topo = make_topo(smt=2)
+        assert topo.locality(0, 1) == Locality.SMT
+
+    def test_same_socket(self):
+        topo = make_topo(smt=2)
+        # PUs 0 and 2 are different cores, same socket
+        assert topo.locality(0, 2) == Locality.SOCKET
+
+    def test_same_node_cross_socket(self):
+        topo = make_topo(nodes=1, sockets=2, cores=4, smt=2)
+        assert topo.locality(0, 8) == Locality.NODE
+
+    def test_cross_node(self):
+        topo = make_topo(nodes=2, sockets=2, cores=4, smt=2)
+        assert topo.locality(0, 16) == Locality.NETWORK
+
+    def test_locality_ordering_is_meaningful(self):
+        assert Locality.SMT < Locality.SOCKET < Locality.NODE < Locality.NETWORK
+
+    def test_pus_within_levels(self):
+        topo = make_topo(nodes=2, sockets=2, cores=2, smt=2)
+        assert topo.pus_within(0, Locality.SELF) == (0,)
+        assert topo.pus_within(0, Locality.SMT) == (0, 1)
+        assert topo.pus_within(0, Locality.SOCKET) == (0, 1, 2, 3)
+        assert topo.pus_within(0, Locality.NODE) == tuple(range(8))
+        assert topo.pus_within(0, Locality.NETWORK) == tuple(range(16))
+
+    def test_same_node_same_socket_helpers(self):
+        topo = make_topo(nodes=2, sockets=2, cores=4, smt=1)
+        assert topo.same_socket(0, 3)
+        assert not topo.same_socket(0, 4)
+        assert topo.same_node(0, 7)
+        assert not topo.same_node(0, 8)
+
+
+class TestLocalityProperties:
+    @given(
+        nodes=st.integers(1, 3),
+        sockets=st.integers(1, 2),
+        cores=st.integers(1, 4),
+        smt=st.integers(1, 2),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_locality_symmetric(self, nodes, sockets, cores, smt, data):
+        topo = make_topo(nodes, sockets, cores, smt)
+        a = data.draw(st.integers(0, topo.total_pus - 1))
+        b = data.draw(st.integers(0, topo.total_pus - 1))
+        assert topo.locality(a, b) == topo.locality(b, a)
+
+    @given(
+        nodes=st.integers(1, 3),
+        cores=st.integers(1, 4),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pus_within_nested(self, nodes, cores, data):
+        """Closer locality levels give subsets of farther ones."""
+        topo = make_topo(nodes=nodes, sockets=2, cores=cores, smt=2)
+        p = data.draw(st.integers(0, topo.total_pus - 1))
+        prev = set()
+        for level in (Locality.SELF, Locality.SMT, Locality.SOCKET,
+                      Locality.NODE, Locality.NETWORK):
+            cur = set(topo.pus_within(p, level))
+            assert prev <= cur
+            assert p in cur
+            prev = cur
+
+    @given(nodes=st.integers(1, 3), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_membership_consistency(self, nodes, data):
+        """Every PU's back-pointers agree with the containers' member lists."""
+        topo = make_topo(nodes=nodes)
+        i = data.draw(st.integers(0, topo.total_pus - 1))
+        pu = topo.pu(i)
+        assert i in topo.cores[pu.core_index].pu_indices
+        assert i in topo.sockets[pu.socket_index].pu_indices
+        assert i in topo.nodes[pu.node_index].pu_indices

@@ -1,0 +1,127 @@
+"""Unit tests for StatsCollector and PhaseTimer."""
+
+import pytest
+
+from repro.sim import Simulator, StatsCollector
+from repro.sim.trace import summarize
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize([])
+        assert s["n"] == 0 and s["mean"] == 0.0
+
+    def test_basic_stats(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["n"] == 4
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["median"] == pytest.approx(2.5)
+
+    def test_odd_median(self):
+        assert summarize([3.0, 1.0, 2.0])["median"] == 2.0
+
+
+class TestCounters:
+    def test_count_and_get(self):
+        st = StatsCollector()
+        st.count("steals")
+        st.count("steals", 4)
+        assert st.get_count("steals") == 5
+        assert st.get_count("missing") == 0
+
+    def test_add_and_get_sum(self):
+        st = StatsCollector()
+        st.add("bytes", 100.0)
+        st.add("bytes", 50.0)
+        assert st.get_sum("bytes") == pytest.approx(150.0)
+
+    def test_record_series(self):
+        st = StatsCollector()
+        st.record("lat", 1.0)
+        st.record("lat", 3.0)
+        assert st.get_series("lat") == [1.0, 3.0]
+        assert st.summary("lat")["mean"] == pytest.approx(2.0)
+
+
+class TestTimers:
+    def test_timer_accumulates_sim_time(self, sim):
+        st = StatsCollector(sim)
+
+        def proc(sim, st):
+            st.timer_enter("phase", key=0)
+            yield sim.delay(2.0)
+            st.timer_exit("phase", key=0)
+            yield sim.delay(1.0)
+            st.timer_enter("phase", key=0)
+            yield sim.delay(3.0)
+            st.timer_exit("phase", key=0)
+
+        sim.spawn(proc(sim, st))
+        sim.run()
+        assert st.timer_total("phase", key=0) == pytest.approx(5.0)
+
+    def test_timer_max_across_keys(self, sim):
+        st = StatsCollector(sim)
+
+        def proc(sim, st, key, dur):
+            st.timer_enter("p", key=key)
+            yield sim.delay(dur)
+            st.timer_exit("p", key=key)
+
+        sim.spawn(proc(sim, st, 0, 2.0))
+        sim.spawn(proc(sim, st, 1, 7.0))
+        sim.run()
+        assert st.timer_max("p") == pytest.approx(7.0)
+        assert st.timer_total("p", key=Ellipsis) == pytest.approx(9.0)
+
+    def test_phase_timer_helper(self, sim):
+        st = StatsCollector(sim)
+
+        def proc(sim, st):
+            t = st.phase("fft", key=3).start()
+            yield sim.delay(4.0)
+            t.stop()
+
+        sim.spawn(proc(sim, st))
+        sim.run()
+        assert st.timer_total("fft", key=3) == pytest.approx(4.0)
+
+    def test_double_enter_rejected(self, sim):
+        st = StatsCollector(sim)
+        st.timer_enter("x")
+        with pytest.raises(ValueError, match="already open"):
+            st.timer_enter("x")
+
+    def test_exit_without_enter_rejected(self, sim):
+        st = StatsCollector(sim)
+        with pytest.raises(ValueError, match="not opened"):
+            st.timer_exit("nope")
+
+    def test_timer_without_sim_rejected(self):
+        st = StatsCollector()
+        with pytest.raises(ValueError, match="Simulator"):
+            st.timer_enter("x")
+
+
+class TestMerge:
+    def test_merge_combines_everything(self, sim):
+        a = StatsCollector(sim)
+        b = StatsCollector(sim)
+        a.count("c", 1)
+        b.count("c", 2)
+        a.add("s", 1.0)
+        b.add("s", 2.0)
+        a.record("r", 1.0)
+        b.record("r", 2.0)
+        b.timers[("t", 0)] = 5.0
+        a.merge(b)
+        assert a.get_count("c") == 3
+        assert a.get_sum("s") == pytest.approx(3.0)
+        assert a.get_series("r") == [1.0, 2.0]
+        assert a.timer_total("t", key=0) == pytest.approx(5.0)

@@ -1,0 +1,22 @@
+"""Shared fixtures for UPC-layer tests."""
+
+import pytest
+
+from repro.machine.presets import generic_smp
+from repro.upc import UpcProgram
+
+
+def make_program(threads=4, nodes=2, threads_per_node=None, **kwargs):
+    """A small generic program for unit tests."""
+    preset = generic_smp(nodes=nodes, sockets=2, cores_per_socket=2, smt_per_core=1)
+    return UpcProgram(
+        preset,
+        threads=threads,
+        threads_per_node=threads_per_node,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def prog():
+    return make_program()

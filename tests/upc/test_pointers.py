@@ -1,0 +1,164 @@
+"""Unit tests for shared pointers, privatization and pointer tables."""
+
+import pytest
+
+from repro.errors import UpcError
+from repro.upc.pointers import PointerTable, SharedPointer
+from tests.upc.conftest import make_program
+
+
+class TestSharedPointer:
+    def test_owner_and_phase(self):
+        prog = make_program(threads=4)
+
+        def main(upc):
+            arr = yield from upc.all_alloc(16, blocksize=2)
+            p = SharedPointer(arr, 5)
+            return (p.owner, p.phase)
+
+        res = prog.run(main)
+        # index 5: block 2 -> thread 2, phase 1
+        assert res.returns[0] == (2, 1)
+
+    def test_arithmetic(self):
+        prog = make_program(threads=2)
+
+        def main(upc):
+            arr = yield from upc.all_alloc(8)
+            p = SharedPointer(arr, 2)
+            q = p + 3
+            r = q - 1
+            return (q.index, r.index)
+
+        assert prog.run(main).returns[0] == (5, 4)
+
+    def test_out_of_range_rejected(self):
+        prog = make_program(threads=2)
+
+        def main(upc):
+            arr = yield from upc.all_alloc(4)
+            SharedPointer(arr, 4)
+
+        with pytest.raises(Exception):
+            prog.run(main)
+
+    def test_costed_deref_roundtrip(self):
+        prog = make_program(threads=2)
+
+        def main(upc):
+            arr = yield from upc.all_alloc(4)
+            if upc.MYTHREAD == 0:
+                yield from SharedPointer(arr, 3).put(upc, 2.5)
+            yield from upc.barrier()
+            v = yield from SharedPointer(arr, 3).get(upc)
+            return v
+
+        assert prog.run(main).returns == [2.5, 2.5]
+
+    def test_deref_charges_translation(self):
+        prog = make_program(threads=1)
+        per = prog.preset.memory.pointer_translation_time
+
+        def main(upc):
+            arr = yield from upc.all_alloc(4)
+            t0 = upc.wtime()
+            for _ in range(100):
+                yield from SharedPointer(arr, 0).get(upc)
+            return upc.wtime() - t0
+
+        elapsed = prog.run(main).returns[0]
+        assert elapsed >= 100 * per
+
+
+class TestPrivatization:
+    def test_cast_within_supernode(self):
+        prog = make_program(threads=4, nodes=2, threads_per_node=2)
+
+        def main(upc):
+            arr = yield from upc.all_alloc(8, blocksize="block")
+            p = SharedPointer(arr, 2)  # owned by thread 1 (same node as 0)
+            if upc.MYTHREAD == 0:
+                lp = p.privatize(upc)
+                return lp.owner
+            yield from upc.compute(0.0)
+
+        assert prog.run(main).returns[0] == 1
+
+    def test_cast_across_nodes_rejected(self):
+        prog = make_program(threads=2, nodes=2, threads_per_node=1)
+
+        def main(upc):
+            arr = yield from upc.all_alloc(4, blocksize="block")
+            if upc.MYTHREAD == 0:
+                SharedPointer(arr, 3).privatize(upc)  # thread 1, other node
+            yield from upc.compute(0.0)
+
+        with pytest.raises(Exception, match="cannot cast"):
+            prog.run(main)
+
+    def test_privatized_deref_is_cheaper(self):
+        prog = make_program(threads=2, nodes=1, threads_per_node=2)
+
+        def main(upc):
+            arr = yield from upc.all_alloc(1000, blocksize="block")
+            yield from upc.barrier()
+            if upc.MYTHREAD != 0:
+                return None
+            p = SharedPointer(arr, 600)  # thread 1's data, same node
+            t0 = upc.wtime()
+            for i in range(200):
+                yield from (p + i).get(upc)
+            shared_time = upc.wtime() - t0
+            lp = p.privatize(upc)
+            t0 = upc.wtime()
+            for i in range(200):
+                yield from (lp + i).get(upc)
+            cast_time = upc.wtime() - t0
+            return (shared_time, cast_time)
+
+        shared_time, cast_time = prog.run(main).returns[0]
+        assert cast_time < shared_time
+
+    def test_local_pointer_arithmetic_bounds(self):
+        prog = make_program(threads=2)
+
+        def main(upc):
+            arr = yield from upc.all_alloc(4, blocksize="block")
+            # privatize a pointer into my own block (always castable)
+            lp = SharedPointer(arr, 2 * upc.MYTHREAD).privatize(upc)
+            try:
+                lp + 10
+            except UpcError:
+                return "checked"
+            return "unchecked"
+
+        assert prog.run(main).returns[0] == "checked"
+
+
+class TestPointerTable:
+    def test_table_flags_match_topology(self):
+        prog = make_program(threads=4, nodes=2, threads_per_node=2)
+
+        def main(upc):
+            table = yield from PointerTable.build(upc)
+            return [table.castable(t) for t in range(4)]
+
+        res = prog.run(main)
+        assert res.returns[0] == [True, True, False, False]
+        assert res.returns[2] == [False, False, True, True]
+
+    def test_reachable_peers_excludes_self(self):
+        prog = make_program(threads=4, nodes=2, threads_per_node=2)
+
+        def main(upc):
+            table = yield from PointerTable.build(upc)
+            return table.reachable_peers()
+
+        res = prog.run(main)
+        assert res.returns[0] == [1]
+        assert res.returns[3] == [2]
+
+    def test_unknown_thread_rejected(self):
+        table = PointerTable(0, {0: True})
+        with pytest.raises(UpcError):
+            table.castable(5)

@@ -1,0 +1,119 @@
+"""Unit tests for the split-phase barrier (upc_notify / upc_wait)."""
+
+import pytest
+
+from repro.errors import UpcError
+from repro.sim import Simulator
+from repro.upc.sync import SplitPhaseBarrier
+from tests.upc.conftest import make_program
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestSplitPhaseBarrier:
+    def test_bad_parties(self, sim):
+        with pytest.raises(UpcError):
+            SplitPhaseBarrier(sim, 0)
+
+    def test_thread_out_of_range(self, sim):
+        bar = SplitPhaseBarrier(sim, 2)
+        with pytest.raises(UpcError, match="out of range"):
+            bar.notify(2)
+
+    def test_wait_without_notify_rejected(self, sim):
+        bar = SplitPhaseBarrier(sim, 2)
+        with pytest.raises(UpcError, match="without"):
+            bar.wait(0)
+
+    def test_double_notify_rejected(self, sim):
+        bar = SplitPhaseBarrier(sim, 2)
+        bar.notify(0)
+        with pytest.raises(UpcError, match="before matching"):
+            bar.notify(0)
+
+    def test_release_on_last_notify(self, sim):
+        bar = SplitPhaseBarrier(sim, 2)
+        bar.notify(0)
+        ev = bar.wait(0)
+        assert not ev.done
+        bar.notify(1)
+        assert ev.done
+
+    def test_late_waiter_passes_through(self, sim):
+        bar = SplitPhaseBarrier(sim, 2)
+        bar.notify(0)
+        bar.notify(1)
+        assert bar.wait(0).done
+        assert bar.wait(1).done
+
+    def test_phases_are_independent(self, sim):
+        bar = SplitPhaseBarrier(sim, 2)
+        # phase 0
+        bar.notify(0)
+        bar.notify(1)
+        bar.wait(0)
+        bar.wait(1)
+        # phase 1: thread 0 races ahead
+        bar.notify(0)
+        ev = bar.wait(0)
+        assert not ev.done
+        bar.notify(1)
+        assert ev.done and ev.value == 1
+
+
+class TestUpcNotifyWait:
+    def test_compute_hides_barrier_latency(self):
+        """Work placed between notify and wait overlaps the stragglers."""
+        prog = make_program(threads=4)
+
+        def main(upc):
+            # thread 3 arrives very late
+            if upc.MYTHREAD == 3:
+                yield from upc.compute(10e-3)
+            yield from upc.barrier_notify()
+            yield from upc.compute(10e-3)  # everyone's useful work
+            yield from upc.barrier_wait()
+            return upc.wtime()
+
+        res = prog.run(main)
+        # the early threads' 10ms compute ran *during* thread 3's delay,
+        # so the whole job ends ~20ms, not ~30ms
+        assert max(res.returns) < 25e-3
+
+    def test_blocking_barrier_cannot_hide_it(self):
+        prog = make_program(threads=4)
+
+        def main(upc):
+            if upc.MYTHREAD == 3:
+                yield from upc.compute(10e-3)
+            yield from upc.barrier()
+            yield from upc.compute(10e-3)
+            return upc.wtime()
+
+        res = prog.run(main)
+        assert max(res.returns) >= 20e-3 - 1e-6
+
+    def test_repeated_split_barriers(self):
+        prog = make_program(threads=3)
+
+        def main(upc):
+            for _ in range(5):
+                yield from upc.barrier_notify()
+                yield from upc.compute(1e-4)
+                yield from upc.barrier_wait()
+            return upc.wtime()
+
+        res = prog.run(main)
+        assert len(set(res.returns)) <= 2  # all aligned within barrier costs
+
+    def test_mismatched_use_fails_program(self):
+        prog = make_program(threads=2)
+
+        def main(upc):
+            yield from upc.barrier_wait()  # no notify first
+
+        with pytest.raises(Exception, match="without"):
+            prog.run(main)
