@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 
 from repro.apps.uts.stealstack import NODE_BYTES, StealStack
 from repro.apps.uts.tree import TreeParams, count_tree, expand, root_node
+from repro.errors import EndpointFailedError
 from repro.machine.presets import PlatformPreset, pyramid
 from repro.sim import Condition
 from repro.upc import UpcProgram
@@ -63,6 +64,25 @@ class _Global:
         self.finished = False
         self.work_cond = Condition(sim, name="uts.work")
         self.done_cond = Condition(sim, name="uts.done")
+        # Degraded-mode state (all empty/zero on a healthy run).
+        self.dead: set = set()          #: threads on crashed nodes
+        self.blacklist: set = set()     #: victims declared unreachable
+        self.lost_nodes = 0             #: materialized nodes lost to faults
+        self.transit_by: Dict[int, int] = {}  #: per-thief in-flight nodes
+
+    @property
+    def unavailable(self) -> set:
+        return self.dead | self.blacklist
+
+    def start_transit(self, thief: int, count: int) -> None:
+        self.in_transit += count
+        self.transit_by[thief] = self.transit_by.get(thief, 0) + count
+
+    def end_transit(self, thief: int, count: int, lost: bool = False) -> None:
+        self.in_transit -= count
+        self.transit_by[thief] = self.transit_by.get(thief, 0) - count
+        if lost:
+            self.lost_nodes += count
 
 
 def _worker(upc, cfg: UtsConfig, params: TreeParams,
@@ -95,12 +115,16 @@ def _worker(upc, cfg: UtsConfig, params: TreeParams,
             continue
 
         # -- IDLE / termination detection -----------------------------
+        # Termination must stay correct when threads disappear: dead
+        # threads' stacks are dropped at crash time and their in-transit
+        # work is written off, so "everything is done" is judged over
+        # the *alive* population only.
         glob.idle.add(me)
         total_left = sum(len(s) for s in stacks) + glob.in_transit
         if total_left > 0:
             glob.idle.discard(me)
             continue  # missed-wakeup guard: work exists, go steal again
-        if len(glob.idle) == upc.THREADS:
+        if len(glob.idle) >= upc.THREADS - len(glob.dead):
             glob.finished = True
             glob.done_cond.notify_all()
             break
@@ -121,7 +145,11 @@ def _steal_round(upc, cfg: UtsConfig, stacks: List[StealStack],
                  glob: _Global, local_set: set):
     """One pass of the Fig 3.2 discovery/steal state machine.
 
-    Returns True when work landed on our stack.
+    Returns True when work landed on our stack.  Under fault injection a
+    victim may vanish at any point; every network op can then raise
+    :class:`EndpointFailedError`, which blacklists the victim and fails
+    over to the next candidate (local-first order is preserved, so
+    failover naturally prefers the cheap castable neighbourhood).
     """
     me = upc.MYTHREAD
     if cfg.policy == "baseline":
@@ -141,42 +169,78 @@ def _steal_round(upc, cfg: UtsConfig, stacks: List[StealStack],
 
     for victims in phases:
         for v in victims:
-            ss_v = stacks[v]
-            stacks[me].steals_attempted += 1
-            # discovery: read the victim's stack metadata
-            if upc.can_cast(v):
-                yield from upc.compute(upc.gasnet.backend.shm_roundtrip)
-            else:
-                yield from upc.memget(v, 8)
-            if ss_v.available_to_steal < cfg.steal_chunk:
+            if v in glob.unavailable:
                 continue
-            # steal under the victim's stack lock
-            lock = upc.lock(("uts", v), affinity_thread=v)
-            yield from lock.acquire(upc)
-            avail = ss_v.available_to_steal  # re-check under the lock
-            if avail < cfg.steal_chunk:
-                yield from lock.release(upc)
-                continue
-            if (cfg.policy == "local+diffusion"
-                    and avail >= cfg.diffusion_chunks * cfg.steal_chunk):
-                take = avail // 2
-            else:
-                take = cfg.steal_chunk
-            nodes = ss_v.steal_from_tail(take)
-            glob.in_transit += len(nodes)
-            nbytes = len(nodes) * NODE_BYTES
-            yield from upc.memget(v, nbytes, privatized=upc.can_cast(v))
-            yield from lock.release(upc)
-            stacks[me].push(nodes)
-            glob.in_transit -= len(nodes)
-            stacks[me].steals_successful += 1
-            kind = "local" if v in local_set else "remote"
-            upc.stats.count(f"uts.steal_{kind}")
-            upc.stats.count("uts.nodes_stolen", len(nodes))
-            if glob.idle and stacks[me].available_to_steal > 0:
-                glob.work_cond.notify_all()
-            return True
+            found = yield from _try_steal(upc, cfg, stacks, glob, local_set, v)
+            if found:
+                return True
     return False
+
+
+def _try_steal(upc, cfg: UtsConfig, stacks: List[StealStack],
+               glob: _Global, local_set: set, v: int):
+    """Probe one victim; True when its work landed on our stack."""
+    me = upc.MYTHREAD
+    ss_v = stacks[v]
+    stacks[me].steals_attempted += 1
+    holding_lock = False
+    in_flight = 0
+    got_work = False
+    lock = None
+    try:
+        # discovery: read the victim's stack metadata
+        if upc.can_cast(v):
+            yield from upc.compute(upc.gasnet.backend.shm_roundtrip)
+        else:
+            yield from upc.memget(v, 8)
+        if ss_v.available_to_steal < cfg.steal_chunk:
+            return False
+        # steal under the victim's stack lock
+        lock = upc.lock(("uts", v), affinity_thread=v)
+        yield from lock.acquire(upc)
+        holding_lock = True
+        avail = ss_v.available_to_steal  # re-check under the lock
+        if avail < cfg.steal_chunk:
+            holding_lock = False
+            yield from lock.release(upc)
+            return False
+        if (cfg.policy == "local+diffusion"
+                and avail >= cfg.diffusion_chunks * cfg.steal_chunk):
+            take = avail // 2
+        else:
+            take = cfg.steal_chunk
+        nodes = ss_v.steal_from_tail(take)
+        glob.start_transit(me, len(nodes))
+        in_flight = len(nodes)
+        nbytes = len(nodes) * NODE_BYTES
+        yield from upc.memget(v, nbytes, privatized=upc.can_cast(v))
+        # The chunk is ours once the get completes: land it before the
+        # unlock round, so a victim dying during unlock loses nothing.
+        stacks[me].push(nodes)
+        glob.end_transit(me, len(nodes))
+        in_flight = 0
+        got_work = True
+        stacks[me].steals_successful += 1
+        kind = "local" if v in local_set else "remote"
+        upc.stats.count(f"uts.steal_{kind}")
+        upc.stats.count("uts.nodes_stolen", len(nodes))
+        holding_lock = False
+        yield from lock.release(upc)
+        if glob.idle and stacks[me].available_to_steal > 0:
+            glob.work_cond.notify_all()
+        return True
+    except EndpointFailedError:
+        # The victim is gone: blacklist it, write off anything we had
+        # in flight from its (now unreachable) segment, and make sure
+        # the lock is not left dangling for other queued thieves.
+        glob.blacklist.add(v)
+        upc.stats.count("uts.victims_blacklisted")
+        if in_flight:
+            glob.end_transit(me, in_flight, lost=True)
+            upc.stats.count("uts.nodes_lost_in_transit", in_flight)
+        if holding_lock and lock is not None:
+            lock.abandon(me)
+        return got_work
 
 
 def run_uts(
@@ -188,11 +252,17 @@ def run_uts(
     conduit: Optional[str] = None,
     steal_chunk: int = 8,
     config: Optional[UtsConfig] = None,
+    faults=None,
 ) -> Dict:
     """Run UTS under one stealing policy; returns the run's metrics.
 
     Node counts are verified against a sequential traversal unless
-    ``config.verify`` is off.
+    ``config.verify`` is off.  ``faults`` takes a
+    :class:`~repro.faults.FaultPlan` (or spec string); with faults
+    injected the exact-count invariant is replaced by conservation of
+    *accounted* work — every materialized node is either processed or
+    explicitly written off as lost — and the report carries the fault,
+    retry and recovery counters.
     """
     from repro.apps.uts.tree import small_tree
 
@@ -207,23 +277,46 @@ def run_uts(
         conduit=conduit,
         binding="compact",
         seed=tree.seed,
+        faults=faults,
     )
     stacks = [StealStack(t, cfg.steal_chunk) for t in range(threads)]
     glob = _Global(prog.sim, threads)
+
+    if prog.faults is not None:
+        def on_crash(crash, _prog=prog, _stacks=stacks, _glob=glob):
+            _handle_crash(_prog, _stacks, _glob, crash)
+        # Registered after UpcProgram's own handler, so threads are
+        # already killed (and their locks recovered) when this runs.
+        prog.faults.on_crash(on_crash)
+
     res = prog.run(_worker, cfg, tree, stacks, glob)
 
-    total = sum(r["processed"] for r in res.returns)
+    # Per-thread counters live on the stacks, so dead threads' completed
+    # work (their processes returned None) is still accounted.
+    total = sum(ss.nodes_processed for ss in stacks)
+    expected, _depth = count_tree(tree) if cfg.verify else (None, None)
     if cfg.verify:
-        expected, _depth = count_tree(tree)
-        if total != expected:
+        if prog.faults is None:
+            if total != expected:
+                raise AssertionError(
+                    f"UTS lost/duplicated work: processed {total}, "
+                    f"tree has {expected}"
+                )
+        elif total + glob.lost_nodes > expected:
+            # Lost subtrees were never materialized, so under faults the
+            # invariant is one-sided: no node may be double-counted.
             raise AssertionError(
-                f"UTS lost/duplicated work: processed {total}, tree has {expected}"
+                f"UTS duplicated work under faults: processed {total} + "
+                f"lost {glob.lost_nodes} exceeds tree total {expected}"
             )
-    elapsed = max(r["elapsed"] for r in res.returns)
+    alive_returns = [r for r in res.returns if r is not None]
+    elapsed = (
+        max(r["elapsed"] for r in alive_returns) if alive_returns else res.elapsed
+    )
     local = res.stats.get_count("uts.steal_local")
     remote = res.stats.get_count("uts.steal_remote")
     steals = local + remote
-    return {
+    report = {
         "policy": cfg.policy,
         "threads": threads,
         "threads_per_node": threads_per_node,
@@ -239,4 +332,44 @@ def run_uts(
         "avg_steal_size": (
             res.stats.get_count("uts.nodes_stolen") / steals if steals else 0.0
         ),
+        # Completed-work-under-failure: on a healthy verified run this
+        # is exactly 1.0; with faults it is the surviving fraction.
+        "threads_lost": len(glob.dead),
+        "nodes_lost": glob.lost_nodes,
+        "completed_fraction": (total / expected) if expected else None,
+        "faults_crashes": res.stats.get_count("faults.crashes"),
+        "net_messages_lost": res.stats.get_count("net.messages_lost"),
+        "gasnet_timeouts": res.stats.get_count("gasnet.timeouts"),
+        "gasnet_retransmits": res.stats.get_count("gasnet.retransmits"),
+        "victims_blacklisted": res.stats.get_count("uts.victims_blacklisted"),
+        "locks_recovered": res.stats.get_count("faults.locks_recovered"),
     }
+    return report
+
+
+def _handle_crash(prog: UpcProgram, stacks: List[StealStack],
+                  glob: _Global, crash) -> None:
+    """Degraded-mode bookkeeping when a node fail-stops mid-run.
+
+    The dead threads' queued work and in-flight steals are written off
+    so the survivors' termination detection converges, then idle
+    survivors are woken to re-run it against the shrunken population.
+    """
+    dead = [
+        loc.thread_id
+        for loc in prog.gasnet.locations
+        if loc.node == crash.node and loc.thread_id not in glob.dead
+    ]
+    for t in dead:
+        glob.dead.add(t)
+        glob.idle.discard(t)
+        dropped = stacks[t].drop_all()
+        glob.lost_nodes += dropped
+        if dropped:
+            prog.stats.count("uts.nodes_lost_on_stack", dropped)
+        stranded = glob.transit_by.pop(t, 0)
+        if stranded:
+            glob.in_transit -= stranded
+            glob.lost_nodes += stranded
+            prog.stats.count("uts.nodes_lost_in_transit", stranded)
+    glob.work_cond.notify_all()

@@ -52,6 +52,16 @@ class StealStack:
         del self._nodes[-max_nodes:]
         return list(reversed(taken))
 
+    def drop_all(self) -> int:
+        """Crash path: discard all queued work, returning how many nodes.
+
+        Called when the owning thread's node fail-stops; the dropped
+        nodes are accounted as lost work by the driver.
+        """
+        lost = len(self._nodes)
+        self._nodes.clear()
+        return lost
+
     def steal_from_tail(self, count: int) -> List[Node]:
         """Thief-side take from the tail (oldest, shallowest work)."""
         count = min(count, self.available_to_steal)

@@ -16,6 +16,9 @@ __all__ = [
     "AffinityError",
     "SubthreadError",
     "MpiError",
+    "FaultError",
+    "MessageCorruptedError",
+    "EndpointFailedError",
 ]
 
 
@@ -45,3 +48,30 @@ class SubthreadError(SimulationError):
 
 class MpiError(SimulationError):
     """MPI-layer error (unmatched receive, communicator misuse, ...)."""
+
+
+class FaultError(SimulationError):
+    """Invalid fault plan or fault-injection misuse."""
+
+
+class MessageCorruptedError(NetworkError):
+    """A message was delivered but failed its integrity check.
+
+    Raised by the fabric *after* the corrupted bytes have drained, so the
+    sender has paid the full transfer cost; reliable layers catch this
+    and retransmit.
+    """
+
+
+class EndpointFailedError(GasnetError):
+    """A peer is unreachable and the retry budget is exhausted.
+
+    Carries the peer's UPC thread id as ``thread`` so schedulers can
+    blacklist the victim and fail over.
+    """
+
+    def __init__(self, thread: int, message: str = ""):
+        super().__init__(
+            message or f"endpoint for thread {thread} unreachable (retries exhausted)"
+        )
+        self.thread = thread

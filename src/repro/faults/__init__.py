@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the simulated PGAS stack.
+
+``repro.faults`` turns the reproduction into a platform for studying how
+hierarchical parallelism *degrades*: a :class:`FaultPlan` declares node
+crashes, NIC degradation windows and per-message loss/corruption; a
+:class:`FaultInjector` binds the plan to a run.  The fabric drops or
+corrupts messages, GASNet retries with exponential backoff and surfaces
+dead peers as :class:`~repro.errors.EndpointFailedError`, and the UTS
+driver blacklists dead victims and keeps termination detection correct.
+
+See the "Fault model" section of ``DESIGN.md`` for the layer contract
+and determinism guarantees.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    LinkDegradation,
+    MessageFaultRule,
+    NodeCrash,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDegradation",
+    "MessageFaultRule",
+    "NodeCrash",
+]

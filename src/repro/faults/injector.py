@@ -1,0 +1,126 @@
+"""Binding a :class:`FaultPlan` to a live simulated stack.
+
+The injector is the single authority every layer consults:
+
+* the **fabric** asks it for each message's fate (ok / lost / corrupt),
+  whether endpoints' nodes are alive, and the current NIC degradation
+  factor;
+* **GASNet** checks for its presence to decide whether puts/gets/AM
+  rounds run through the timeout+retransmit path;
+* **runtimes and apps** register ``on_crash`` callbacks to kill the
+  threads a crashed node hosted and to re-plan around the loss.
+
+All randomness comes from one private splitmix64 stream seeded by the
+plan, drawn in deterministic event order — two runs with the same seed
+and plan are byte-identical, and the stream is independent of every
+application RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from repro.errors import FaultError
+from repro.faults.plan import FaultPlan, NodeCrash
+from repro.sim import Simulator, SplittableRNG, StatsCollector
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Deterministic, seed-reproducible execution of one fault plan."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plan: FaultPlan,
+        stats: Optional[StatsCollector] = None,
+    ):
+        self.sim = sim
+        self.plan = plan
+        self.stats = stats if stats is not None else StatsCollector(sim)
+        # A dedicated stream: fault draws never perturb app RNG state.
+        self._rng = SplittableRNG(seed=plan.seed, algorithm="mix").child(-1)
+        self.dead_nodes: Set[int] = set()
+        self._crash_callbacks: List[Callable[[NodeCrash], None]] = []
+        self._fabric = None
+        self._scheduled = False
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, fabric) -> None:
+        """Hook a :class:`~repro.network.fabric.Fabric` and arm the plan."""
+        if self._fabric is not None:
+            raise FaultError("injector already attached to a fabric")
+        self._fabric = fabric
+        fabric.set_injector(self)
+        if not self._scheduled:
+            self._schedule_plan()
+
+    def on_crash(self, callback: Callable[[NodeCrash], None]) -> None:
+        """Register ``callback(crash)`` to run when a node fail-stops."""
+        self._crash_callbacks.append(callback)
+
+    def _schedule_plan(self) -> None:
+        self._scheduled = True
+        for crash in self.plan.crashes:
+            self.sim.schedule_at(crash.at, self._fire_crash, crash)
+        for win in self.plan.degradations:
+            # Reprice the node's NIC pipes at both window edges so
+            # in-flight transfers finish at the correct mixed rate.
+            self.sim.schedule_at(win.start, self._reprice, win.node)
+            self.sim.schedule_at(win.end, self._reprice, win.node)
+            self.stats.count("faults.degrade_windows")
+
+    # -- crashes ---------------------------------------------------------
+
+    def _fire_crash(self, crash: NodeCrash) -> None:
+        if crash.node in self.dead_nodes:
+            return
+        self.dead_nodes.add(crash.node)
+        self.stats.count("faults.crashes")
+        self.stats.record("faults.crash_times", self.sim.now)
+        for callback in self._crash_callbacks:
+            callback(crash)
+
+    def node_alive(self, node: int) -> bool:
+        return node not in self.dead_nodes
+
+    # -- link degradation ------------------------------------------------
+
+    def degrade_factor(self, node: int) -> float:
+        """Bandwidth multiplier for ``node``'s NIC at the current time."""
+        factor = 1.0
+        now = self.sim.now
+        for win in self.plan.degradations:
+            if win.node == node and win.start <= now < win.end:
+                factor *= win.factor
+        return factor
+
+    def _reprice(self, node: int) -> None:
+        if self._fabric is not None:
+            self._fabric.reprice_node(node)
+
+    # -- per-message fate ------------------------------------------------
+
+    def message_fate(self, src_node: int, dst_node: int) -> str:
+        """Decide one message's fate: ``"ok"``, ``"lost"`` or ``"corrupt"``.
+
+        Messages touching a dead node are black holes.  Otherwise the
+        plan's rules are evaluated in order; the first matching rule
+        whose probability draw hits decides.
+        """
+        if src_node in self.dead_nodes or dst_node in self.dead_nodes:
+            self.stats.count("faults.messages_blackholed")
+            return "lost"
+        now = self.sim.now
+        for rule in self.plan.message_rules:
+            if not rule.matches(src_node, dst_node, now):
+                continue
+            if rule.prob > 0 and self._rng.random() < rule.prob:
+                if rule.kind == "loss":
+                    self.stats.count("faults.messages_lost")
+                    return "lost"
+                self.stats.count("faults.messages_corrupted")
+                return "corrupt"
+        return "ok"

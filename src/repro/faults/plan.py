@@ -1,0 +1,225 @@
+"""Declarative fault plans: what goes wrong, where, and when.
+
+A :class:`FaultPlan` is a pure description — node crashes, NIC/link
+degradation windows, and per-message loss/corruption rules — with no
+reference to a simulator.  Binding a plan to a running stack is the
+:class:`~repro.faults.injector.FaultInjector`'s job, which keeps plans
+serializable, comparable, and reusable across runs.
+
+Plans can be built programmatically or parsed from the compact spec
+grammar the harness CLI accepts (``--faults``)::
+
+    crash:node=1,at=2e-3
+    degrade:node=0,start=1e-3,end=4e-3,factor=0.25
+    loss:prob=0.05[,src=NODE][,dst=NODE][,start=T][,end=T]
+    corrupt:prob=0.02[,src=NODE][,dst=NODE][,start=T][,end=T]
+    seed=7
+
+Clauses are separated by ``;``.  All times are simulated seconds; every
+random draw comes from a dedicated splitmix64 stream seeded by ``seed``,
+so a plan is deterministic and independent of application RNG streams.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import FaultError
+
+__all__ = ["NodeCrash", "LinkDegradation", "MessageFaultRule", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node`` fail-stops at simulated time ``at``.
+
+    Every endpoint on the node goes dark: messages to or from it become
+    black holes, and runtimes kill the UPC threads it hosted.
+    """
+
+    node: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultError(f"crash node must be >= 0, got {self.node}")
+        if self.at < 0:
+            raise FaultError(f"crash time must be >= 0, got {self.at}")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Node ``node``'s NIC runs at ``factor`` of nominal rate in a window.
+
+    Models a flapping link, cable errors forcing a lower negotiated
+    rate, or congestion from a neighbouring job.  ``factor`` multiplies
+    the NIC pipes' aggregate bandwidth for ``start <= now < end``.
+    """
+
+    node: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultError(f"degradation node must be >= 0, got {self.node}")
+        if not 0 < self.factor <= 1.0:
+            raise FaultError(
+                f"degradation factor must be in (0, 1], got {self.factor}"
+            )
+        if self.start < 0 or self.end <= self.start:
+            raise FaultError(
+                f"degradation window [{self.start}, {self.end}) is empty"
+            )
+
+
+@dataclass(frozen=True)
+class MessageFaultRule:
+    """Per-message loss or corruption with probability ``prob``.
+
+    ``kind`` is ``"loss"`` (the message never arrives) or ``"corrupt"``
+    (it arrives, fails its checksum, and must be retransmitted).  A rule
+    matches a message when the optional source/destination node filters
+    and the ``[start, end)`` time window all hold.
+    """
+
+    kind: str
+    prob: float
+    src_node: Optional[int] = None
+    dst_node: Optional[int] = None
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("loss", "corrupt"):
+            raise FaultError(f"rule kind must be loss|corrupt, got {self.kind!r}")
+        if not 0 <= self.prob <= 1:
+            raise FaultError(f"probability must be in [0, 1], got {self.prob}")
+        if self.start < 0 or self.end <= self.start:
+            raise FaultError(f"rule window [{self.start}, {self.end}) is empty")
+
+    def matches(self, src_node: int, dst_node: int, now: float) -> bool:
+        if self.src_node is not None and src_node != self.src_node:
+            return False
+        if self.dst_node is not None and dst_node != self.dst_node:
+            return False
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One run's complete, deterministic failure schedule."""
+
+    crashes: Tuple[NodeCrash, ...] = ()
+    degradations: Tuple[LinkDegradation, ...] = ()
+    message_rules: Tuple[MessageFaultRule, ...] = ()
+    seed: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing — equivalent to no plan.
+
+        Runtimes treat an empty plan exactly like ``faults=None`` so a
+        run with an empty plan is bit-identical to the seed behaviour.
+        """
+        return not (self.crashes or self.degradations or self.message_rules)
+
+    def crash_time(self, node: int) -> Optional[float]:
+        times = [c.at for c in self.crashes if c.node == node]
+        return min(times) if times else None
+
+    @staticmethod
+    def parse(spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse the ``--faults`` spec grammar (see module docstring)."""
+        crashes: List[NodeCrash] = []
+        degradations: List[LinkDegradation] = []
+        rules: List[MessageFaultRule] = []
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                seed = int(clause[len("seed="):])
+                continue
+            head, _, body = clause.partition(":")
+            head = head.strip()
+            kv = _parse_kv(body, clause)
+            if head == "crash":
+                crashes.append(NodeCrash(
+                    node=_take_int(kv, "node", clause),
+                    at=_take_float(kv, "at", clause),
+                ))
+            elif head == "degrade":
+                degradations.append(LinkDegradation(
+                    node=_take_int(kv, "node", clause),
+                    start=_take_float(kv, "start", clause),
+                    end=_take_float(kv, "end", clause),
+                    factor=_take_float(kv, "factor", clause),
+                ))
+            elif head in ("loss", "corrupt"):
+                rules.append(MessageFaultRule(
+                    kind=head,
+                    prob=_take_float(kv, "prob", clause),
+                    src_node=_take_int(kv, "src", clause, default=None),
+                    dst_node=_take_int(kv, "dst", clause, default=None),
+                    start=_take_float(kv, "start", clause, default=0.0),
+                    end=_take_float(kv, "end", clause, default=math.inf),
+                ))
+            else:
+                raise FaultError(
+                    f"unknown fault clause {head!r} in {clause!r} "
+                    "(expected crash|degrade|loss|corrupt|seed=N)"
+                )
+            if kv:
+                raise FaultError(
+                    f"unknown key(s) {sorted(kv)} in fault clause {clause!r}"
+                )
+        return FaultPlan(
+            crashes=tuple(crashes),
+            degradations=tuple(degradations),
+            message_rules=tuple(rules),
+            seed=seed,
+        )
+
+
+def _parse_kv(body: str, clause: str) -> dict:
+    kv = {}
+    for part in body.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise FaultError(f"expected key=value, got {part!r} in {clause!r}")
+        kv[key.strip()] = value.strip()
+    return kv
+
+
+_MISSING = object()
+
+
+def _take_float(kv: dict, key: str, clause: str, default=_MISSING) -> float:
+    raw = kv.pop(key, _MISSING)
+    if raw is _MISSING:
+        if default is _MISSING:
+            raise FaultError(f"fault clause {clause!r} needs {key}=")
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise FaultError(f"bad {key}={raw!r} in {clause!r}") from None
+
+
+def _take_int(kv: dict, key: str, clause: str, default=_MISSING):
+    raw = kv.pop(key, _MISSING)
+    if raw is _MISSING:
+        if default is _MISSING:
+            raise FaultError(f"fault clause {clause!r} needs {key}=")
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise FaultError(f"bad {key}={raw!r} in {clause!r}") from None

@@ -12,7 +12,12 @@ plays that role for the simulated runtime:
 * :mod:`~repro.gasnet.team` — thread teams for subset collectives.
 """
 
-from repro.gasnet.core import BackendConfig, GasnetRuntime, ThreadLocation
+from repro.gasnet.core import (
+    BackendConfig,
+    GasnetRuntime,
+    RetryPolicy,
+    ThreadLocation,
+)
 from repro.gasnet.extended import Handle
 from repro.gasnet.pshm import discover_supernodes
 from repro.gasnet.team import Team
@@ -21,6 +26,7 @@ __all__ = [
     "BackendConfig",
     "GasnetRuntime",
     "Handle",
+    "RetryPolicy",
     "Team",
     "ThreadLocation",
     "discover_supernodes",

@@ -15,9 +15,9 @@ system.  The *backend* determines two things the whole thesis turns on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Sequence
+from typing import Callable, Dict, Generator, List, Optional, Sequence
 
-from repro.errors import GasnetError
+from repro.errors import EndpointFailedError, GasnetError, MessageCorruptedError
 from repro.gasnet.pshm import discover_supernodes
 from repro.machine.memory import MemorySystem
 from repro.machine.topology import MachineTopology
@@ -25,7 +25,38 @@ from repro.network.fabric import Fabric
 from repro.network.model import NetworkParams
 from repro.sim import Simulator, StatsCollector
 
-__all__ = ["ThreadLocation", "BackendConfig", "GasnetRuntime"]
+__all__ = ["ThreadLocation", "BackendConfig", "RetryPolicy", "GasnetRuntime"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout + retransmit policy for network ops under fault injection.
+
+    Each attempt races the operation against a timeout; the timeout
+    starts at ``max(min_timeout, timeout_factor * expected)`` — where
+    *expected* is the uncontended analytic time of the op — and grows by
+    ``backoff``× per retry (exponential backoff, so a congested-but-alive
+    peer is given progressively more slack before being declared dead).
+    After ``max_attempts`` total tries the op raises
+    :class:`~repro.errors.EndpointFailedError`.
+    """
+
+    max_attempts: int = 4
+    timeout_factor: float = 8.0
+    min_timeout: float = 100e-6
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise GasnetError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff < 1.0:
+            raise GasnetError(f"backoff must be >= 1, got {self.backoff}")
+        if self.min_timeout <= 0 or self.timeout_factor <= 0:
+            raise GasnetError("timeouts must be positive")
+
+    def timeout_for(self, expected: float, attempt: int) -> float:
+        base = max(self.min_timeout, self.timeout_factor * expected)
+        return base * self.backoff ** attempt
 
 
 @dataclass(frozen=True)
@@ -111,6 +142,57 @@ class GasnetRuntime:
         for gi, group in enumerate(self._supernodes):
             for t in group:
                 self._supernode_of[t] = gi
+        #: Fault injection: None means the reliable, seed-identical path.
+        self.fault_injector = None
+        self.retry = RetryPolicy()
+
+    # -- fault injection ---------------------------------------------------
+
+    def attach_faults(self, injector, retry: Optional[RetryPolicy] = None) -> None:
+        """Arm fault injection: hook the fabric and enable retransmits.
+
+        Without an injector every network op is the plain single-attempt
+        path, byte-identical to seed behaviour; with one, puts/gets/AM
+        rounds time out, retransmit with exponential backoff, and raise
+        :class:`~repro.errors.EndpointFailedError` once the budget is
+        spent — so upper layers see failures as exceptions, not hangs.
+        """
+        injector.attach(self.fabric)
+        self.fault_injector = injector
+        if retry is not None:
+            self.retry = retry
+
+    def _reliable(
+        self,
+        peer_thread: int,
+        op_factory: Callable[[], Generator],
+        expected: float,
+        desc: str,
+    ) -> Generator:
+        """Run a network op with timeout + retransmit (injector present)."""
+        policy = self.retry
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self.stats.count("gasnet.retransmits")
+            proc = self.sim.spawn(op_factory(), name=f"gasnet.try[{desc}]")
+            timeout = self.sim.delay(policy.timeout_for(expected, attempt))
+            try:
+                index, _value = yield self.sim.any_of([proc, timeout])
+            except MessageCorruptedError:
+                # Delivered but mangled: the receiver NAKs, we retransmit.
+                self.sim.forgive_failure(proc)
+                self.stats.count("gasnet.corrupt_detected")
+                continue
+            if index == 0:
+                return
+            proc.kill()
+            self.stats.count("gasnet.timeouts")
+        self.stats.count("gasnet.endpoint_failures")
+        raise EndpointFailedError(
+            peer_thread,
+            f"{desc}: peer thread {peer_thread} unreachable after "
+            f"{policy.max_attempts} attempts",
+        )
 
     # -- queries -----------------------------------------------------------
 
@@ -195,9 +277,19 @@ class GasnetRuntime:
 
         yield self.mem.compute(initiator_pu, self.fabric.params.send_overhead)
         if direction == "put":
-            yield from self.fabric.transmit(src_thread, dst_thread, nbytes)
+            op = lambda: self.fabric.transmit(src_thread, dst_thread, nbytes)
         else:
-            yield from self.fabric.fetch(src_thread, dst_thread, nbytes)
+            op = lambda: self.fabric.fetch(src_thread, dst_thread, nbytes)
+        if self.fault_injector is None:
+            yield from op()
+        else:
+            expected = self.fabric.params.message_time(nbytes)
+            if direction == "get":
+                expected += self.fabric.params.latency
+            yield from self._reliable(
+                dst_thread, op, expected,
+                f"{direction}[{src_thread}->{dst_thread}]",
+            )
 
     def _bypass_copy(
         self,
@@ -243,7 +335,24 @@ class GasnetRuntime:
             yield self.mem.compute(src.pu, self.backend.shm_roundtrip)
             return
         yield self.mem.compute(src.pu, self.fabric.params.send_overhead)
-        yield from self.fabric.transmit(src_thread, dst_thread, request_bytes)
-        yield self.mem.compute(dst.pu, handler_work)
-        yield from self.fabric.transmit(dst_thread, src_thread, reply_bytes)
+
+        def round_() -> Generator:
+            yield from self.fabric.transmit(src_thread, dst_thread, request_bytes)
+            yield self.mem.compute(dst.pu, handler_work)
+            yield from self.fabric.transmit(dst_thread, src_thread, reply_bytes)
+
+        if self.fault_injector is None:
+            yield from round_()
+        else:
+            # A lost request or reply retries the whole round: AM
+            # handlers must be (and here are) idempotent at-least-once.
+            expected = (
+                self.fabric.params.message_time(request_bytes)
+                + handler_work
+                + self.fabric.params.message_time(reply_bytes)
+            )
+            yield from self._reliable(
+                dst_thread, round_, expected,
+                f"am[{src_thread}<->{dst_thread}]",
+            )
         yield self.mem.compute(src.pu, self.fabric.params.recv_overhead)

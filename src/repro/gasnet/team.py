@@ -35,6 +35,7 @@ class Team:
         self._rank_of = {t: i for i, t in enumerate(members)}
         self._barrier = SimBarrier(sim, parties=len(members), name=f"{self.name}.bar")
         self._op_counters = {t: 0 for t in members}
+        self._dead: set = set()
 
     def __len__(self) -> int:
         return len(self.members)
@@ -68,9 +69,24 @@ class Team:
         return f"{self.name}:op{n}"
 
     def barrier(self, thread_id: int) -> Generator:
-        """Simulated generator: team barrier (all members must call)."""
+        """Simulated generator: team barrier (all live members must call)."""
         self.rank(thread_id)  # membership check
-        yield self._barrier.arrive()
+        yield self._barrier.arrive(party=thread_id)
+
+    def drop_dead(self, thread_id: int) -> bool:
+        """Fail-stop a member: future barriers no longer count it.
+
+        Survivors blocked at the team barrier are released if the dead
+        thread was the only one missing.  Membership and ranks are
+        unchanged (the team is still the same ordered set; one seat is
+        just permanently empty).  Returns False when already dropped.
+        """
+        self.rank(thread_id)
+        if thread_id in self._dead:
+            return False
+        self._dead.add(thread_id)
+        self._barrier.drop_party(thread_id)
+        return True
 
     def split(self, thread_id: int, color: int, key: Optional[int] = None) -> "TeamSplit":
         """Record a split request; see :meth:`TeamSplit.build` for assembly.

@@ -5,6 +5,7 @@ Examples::
     python -m repro.harness --list
     python -m repro.harness t3_1 t4_1
     python -m repro.harness --all --scale quick --out results.md
+    python -m repro.harness r1 --faults "crash:node=2,at=5e-5;seed=7"
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ import argparse
 import sys
 import time
 
+from repro.errors import FaultError
 from repro.harness.runner import EXPERIMENTS, run_experiment
 
 
@@ -27,6 +29,9 @@ def main(argv=None) -> int:
     parser.add_argument("--all", action="store_true", help="run every experiment")
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument("--scale", choices=("quick", "paper"), default="quick")
+    parser.add_argument("--faults", metavar="SPEC",
+                        help="fault-plan spec for experiments that accept one "
+                             "(e.g. 'crash:node=1,at=5e-5;loss:prob=0.01')")
     parser.add_argument("--out", help="also write the report to this file")
     args = parser.parse_args(argv)
 
@@ -44,7 +49,14 @@ def main(argv=None) -> int:
     ok = True
     for eid in ids:
         t0 = time.time()
-        result = run_experiment(eid, scale=args.scale)
+        try:
+            result = run_experiment(eid, scale=args.scale, faults=args.faults)
+        except FaultError as exc:
+            parser.error(f"--faults: {exc}")
+        except ValueError as exc:
+            if "--faults" in str(exc) or "faults" in str(exc):
+                parser.error(str(exc))
+            raise
         wall = time.time() - t0
         chunk = result.render() + f"\n(wall time {wall:.1f}s)\n"
         chunks.append(chunk)

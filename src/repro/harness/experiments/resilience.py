@@ -1,0 +1,94 @@
+"""R1 — UTS completed work under injected faults (extension study).
+
+Not a paper artifact: the thesis assumes a fail-free cluster.  This
+experiment exercises the fault-injection layer (``repro.faults``) on the
+UTS work-stealing benchmark and reports how much of the tree each
+scenario completes, alongside the retry/recovery counters.  Scenarios:
+
+* ``none``      — empty fault plan; must match the fault-free run exactly.
+* ``lossy``     — per-message loss + corruption; the GASNet retransmit
+  layer must recover to full completion (fraction 1.0).
+* ``degraded``  — a mid-run NIC slowdown window; full completion, slower.
+* ``crash``     — one node fail-stops mid-run; survivors must finish the
+  reachable work without hanging (degraded-mode termination).
+
+Pass ``--faults`` to override the ``crash`` scenario's plan with your own
+spec (see ``FaultPlan.parse``).
+"""
+
+from __future__ import annotations
+
+from repro.apps.uts import run_uts, small_tree
+from repro.harness.reporting import ExperimentResult
+from repro.harness.runner import Experiment
+from repro.machine.presets import pyramid
+
+_SCENARIOS = [
+    ("none", ""),
+    ("lossy", "loss:prob=0.05;corrupt:prob=0.05;seed=11"),
+    ("degraded", "degrade:node=0,start=0,end=1,factor=0.25;seed=11"),
+    ("crash", "crash:node=3,at=3e-5;seed=11"),
+]
+
+
+def run(scale: str, faults=None) -> ExperimentResult:
+    if scale == "paper":
+        tree = small_tree("medium")
+        threads, tpn, nodes = 32, 4, 8
+    else:
+        tree = small_tree("small")
+        threads, tpn, nodes = 16, 4, 4
+    scenarios = list(_SCENARIOS)
+    if faults:
+        scenarios = [(n, s) for n, s in scenarios if n != "crash"]
+        scenarios.append(("custom", faults))
+    rows = []
+    results = {}
+    for name, spec in scenarios:
+        res = run_uts("local", tree=tree, threads=threads,
+                      threads_per_node=tpn, preset=pyramid(nodes=nodes),
+                      faults=spec or None)
+        results[name] = res
+        rows.append({
+            "Scenario": name,
+            "Completed %": round(100.0 * (res["completed_fraction"] or 0), 1),
+            "Threads lost": res["threads_lost"],
+            "Tree nodes lost": res["nodes_lost"],
+            "Timeouts": res["gasnet_timeouts"],
+            "Retransmits": res["gasnet_retransmits"],
+            "Msgs lost": res["net_messages_lost"],
+            "Victims blacklisted": res["victims_blacklisted"],
+            "Elapsed s": res["elapsed_s"],
+        })
+    result = ExperimentResult(
+        experiment_id="r1",
+        title="R1 - UTS completed work under injected faults",
+        scale=scale,
+        rows=rows,
+        notes=["extension study, not a thesis artifact: the paper assumes "
+               "a fail-free cluster (see DESIGN.md, Fault model)"],
+    )
+    fails = result.shape_failures
+    clean, lossy = results["none"], results["lossy"]
+    if clean["completed_fraction"] != 1.0 or clean["threads_lost"]:
+        fails.append("fault-free scenario must complete the whole tree")
+    if lossy["completed_fraction"] != 1.0:
+        fails.append("retransmit layer should recover lossy links to 100%")
+    if lossy["gasnet_retransmits"] <= 0:
+        fails.append("lossy scenario should exercise retransmits")
+    degraded = results["degraded"]
+    if degraded["completed_fraction"] != 1.0:
+        fails.append("degradation (no loss) should still complete 100%")
+    if degraded["elapsed_s"] <= clean["elapsed_s"]:
+        fails.append("NIC degradation window should slow the run down")
+    crash = results.get("crash")
+    if crash is not None:
+        if crash["threads_lost"] <= 0:
+            fails.append("crash scenario should lose threads")
+        if not 0 < (crash["completed_fraction"] or 0) <= 1.0:
+            fails.append("crashed run should complete a nonzero fraction")
+    return result
+
+
+EXPERIMENT = Experiment("r1", "R1 - UTS under injected faults", run,
+                        accepts_faults=True)

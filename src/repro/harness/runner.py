@@ -12,7 +12,8 @@ __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
 
 SCALES = ("quick", "paper")
 
-#: experiment id -> module path (one module per paper table/figure)
+#: experiment id -> module path (one module per paper table/figure,
+#: plus extensions such as the fault-injection resilience study)
 _MODULES = {
     "t2_1": "repro.harness.experiments.t2_1",
     "t3_1": "repro.harness.experiments.t3_1",
@@ -24,6 +25,7 @@ _MODULES = {
     "f4_4": "repro.harness.experiments.f4_4",
     "f4_5": "repro.harness.experiments.f4_5",
     "f4_6": "repro.harness.experiments.f4_6",
+    "r1": "repro.harness.experiments.resilience",
 }
 
 
@@ -33,11 +35,15 @@ class Experiment:
 
     experiment_id: str
     title: str
-    run: Callable[[str], ExperimentResult]  # run(scale) -> result
+    run: Callable[[str], ExperimentResult]  # run(scale[, faults]) -> result
+    #: True when ``run`` takes a ``faults`` spec (the ``--faults`` CLI flag).
+    accepts_faults: bool = False
 
-    def __call__(self, scale: str = "quick") -> ExperimentResult:
+    def __call__(self, scale: str = "quick", faults=None) -> ExperimentResult:
         if scale not in SCALES:
             raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+        if self.accepts_faults:
+            return self.run(scale, faults=faults)
         return self.run(scale)
 
 
@@ -71,5 +77,12 @@ def get_experiment(experiment_id: str) -> Experiment:
     return EXPERIMENTS.get(experiment_id)
 
 
-def run_experiment(experiment_id: str, scale: str = "quick") -> ExperimentResult:
-    return get_experiment(experiment_id)(scale)
+def run_experiment(
+    experiment_id: str, scale: str = "quick", faults=None
+) -> ExperimentResult:
+    exp = get_experiment(experiment_id)
+    if faults and not exp.accepts_faults:
+        raise ValueError(
+            f"experiment {experiment_id!r} does not accept a --faults spec"
+        )
+    return exp(scale, faults=faults)

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generator, Optional
 
-from repro.errors import NetworkError
+from repro.errors import MessageCorruptedError, NetworkError
 from repro.machine.topology import MachineTopology
 from repro.network.model import NetworkParams
 from repro.sim import Resource, SharedBandwidth, Simulator, StatsCollector
@@ -62,7 +62,8 @@ class _NicPipe(SharedBandwidth):
 
     def _aggregate_rate(self, n: int) -> float:
         active = self._fabric.active_connections_on_node(self._node)
-        return self.rate * self._fabric.params.nic_efficiency(active)
+        rate = self.rate * self._fabric.params.nic_efficiency(active)
+        return rate * self._fabric.degrade_factor(self._node)
 
 
 class Fabric:
@@ -94,6 +95,42 @@ class Fabric:
         ]
         self._connections: Dict[tuple, Connection] = {}
         self._endpoints: Dict[int, Endpoint] = {}
+        #: Optional :class:`~repro.faults.FaultInjector`; None = reliable.
+        self.injector = None
+
+    # -- fault injection --------------------------------------------------
+
+    def set_injector(self, injector) -> None:
+        """Attach a fault injector; every message now consults it."""
+        if self.injector is not None and self.injector is not injector:
+            raise NetworkError("fabric already has a fault injector")
+        self.injector = injector
+
+    def degrade_factor(self, node_index: int) -> float:
+        """Current NIC bandwidth multiplier for ``node_index`` (1.0 = healthy)."""
+        if self.injector is None:
+            return 1.0
+        return self.injector.degrade_factor(node_index)
+
+    def reprice_node(self, node_index: int) -> None:
+        """Re-evaluate a node's NIC rates (called at degradation edges).
+
+        Progress made so far is drained at the old rate before the new
+        rate takes effect for the remainder of in-flight transfers.
+        """
+        for pipe in (self.nic_tx[node_index], self.nic_rx[node_index]):
+            pipe._advance()
+            pipe._reschedule()
+
+    def _message_fate(self, src: Endpoint, dst: Endpoint) -> str:
+        if self.injector is None:
+            return "ok"
+        return self.injector.message_fate(src.node_index, dst.node_index)
+
+    def _black_hole(self) -> Generator:
+        """A transfer that never completes (the caller must time out)."""
+        self.stats.count("net.messages_lost")
+        yield self.sim.event()  # never fires; reliable layers kill us
 
     # -- registration ----------------------------------------------------
 
@@ -178,14 +215,24 @@ class Fabric:
         yield conn.injector.acquire()
         conn.messages += 1
         conn.bytes += nbytes
+        fate = self._message_fate(src, dst)
         self._conn_activity(conn, +1)
         try:
             injection = self.sim.delay(p.gap + nbytes / p.connection_bw)
             injection.add_callback(lambda _ev: conn.injector.release())
+            if fate == "lost":
+                # The sender pays injection; delivery never happens.  A
+                # reliable upper layer must race us against a timeout.
+                yield from self._black_hole()
             wire = self.sim.spawn(
                 self._wire_leg(src, dst, nbytes), name="fabric.wire"
             )
             yield self.sim.all_of([injection, wire])
+            if fate == "corrupt":
+                raise MessageCorruptedError(
+                    f"message {src.endpoint_id}->{dst.endpoint_id} "
+                    f"({nbytes:g} B) failed integrity check"
+                )
         finally:
             self._conn_activity(conn, -1)
 
@@ -236,14 +283,22 @@ class Fabric:
         yield conn.injector.acquire()
         conn.messages += 1
         conn.bytes += nbytes
+        fate = self._message_fate(ini, tgt)
         self._conn_activity(conn, +1)
         try:
             injection = self.sim.delay(p.gap + nbytes / p.connection_bw)
             injection.add_callback(lambda _ev: conn.injector.release())
+            if fate == "lost":
+                yield from self._black_hole()
             wire = self.sim.spawn(
                 self._fetch_wire_leg(ini, tgt, nbytes), name="fabric.fetchwire"
             )
             yield self.sim.all_of([injection, wire])
+            if fate == "corrupt":
+                raise MessageCorruptedError(
+                    f"read {ini.endpoint_id}<-{tgt.endpoint_id} "
+                    f"({nbytes:g} B) failed integrity check"
+                )
         finally:
             self._conn_activity(conn, -1)
 

@@ -30,6 +30,7 @@ from repro.sim.engine import (
     ProcessFailure,
     SimulationError,
     Simulator,
+    StalledProcessError,
 )
 from repro.sim.resources import Resource, SharedBandwidth, Store
 from repro.sim.sync import Condition, SimBarrier
@@ -52,6 +53,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "SplittableRNG",
+    "StalledProcessError",
     "StatsCollector",
     "Store",
     "splitmix64",

@@ -37,11 +37,31 @@ __all__ = [
     "Simulator",
     "SimulationError",
     "ProcessFailure",
+    "StalledProcessError",
 ]
 
 
 class SimulationError(Exception):
     """Base class for errors raised by the simulation kernel."""
+
+
+class StalledProcessError(SimulationError):
+    """The event heap drained while processes were still waiting.
+
+    This is the quiescence/deadlock diagnostic: an injected fault (or a
+    plain bug) orphaned a waiter, so the run ended early instead of
+    completing.  ``processes`` holds the stuck :class:`Process` objects.
+    """
+
+    def __init__(self, processes: list):
+        names = [p.name for p in processes]
+        shown = ", ".join(repr(n) for n in names[:8])
+        extra = f" (+{len(names) - 8} more)" if len(names) > 8 else ""
+        super().__init__(
+            f"simulation quiesced with {len(names)} stalled process(es): "
+            f"{shown}{extra}"
+        )
+        self.processes = processes
 
 
 class ProcessFailure(SimulationError):
@@ -114,6 +134,13 @@ class Event(Awaitable):
 
     ``succeed(value)`` wakes all waiters with ``value``; ``fail(exc)``
     throws ``exc`` into them.
+
+    Completing a **cancelled** event is an explicit, documented no-op:
+    cancellation means every waiter has already withdrawn (a lost
+    ``AnyOf`` race, a killed process), so there is nobody left to wake
+    and the completion value is discarded.  This lets completers fire
+    unconditionally without tracking who lost which race.  Completing an
+    event that already *completed* is still an error.
     """
 
     __slots__ = ()
@@ -121,12 +148,16 @@ class Event(Awaitable):
     def succeed(self, value: Any = None) -> "Event":
         if self._done:
             raise SimulationError("event already completed")
+        if self._cancelled:
+            return self  # documented no-op: all waiters withdrew
         self._complete(value=value)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
         if self._done:
             raise SimulationError("event already completed")
+        if self._cancelled:
+            return self  # documented no-op: all waiters withdrew
         self._complete(exc=exc)
         return self
 
@@ -167,6 +198,7 @@ class Process(Awaitable):
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Optional[Awaitable] = None
+        sim._register_process(self)
         sim.schedule_after(0.0, self._step, None, None)
 
     @property
@@ -304,6 +336,7 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self.failures: list[tuple[Process, BaseException]] = []
+        self._processes: list[Process] = []
         #: Set to a callable to be notified of unhandled process failures.
         self.failure_hook: Optional[Callable[[Process, BaseException], None]] = None
 
@@ -390,12 +423,42 @@ class Simulator:
         if self.failure_hook is not None:
             self.failure_hook(process, exc)
 
-    def raise_failures(self) -> None:
+    def _register_process(self, process: Process) -> None:
+        self._processes.append(process)
+
+    def forgive_failure(self, process: Process) -> None:
+        """Drop recorded failures of ``process``: a supervisor handled them.
+
+        Retry layers spawn an attempt, observe its failure through a
+        combinator, and recover; without forgiveness the handled
+        exception would still trip :meth:`raise_failures` at run end.
+        """
+        self.failures = [(p, e) for (p, e) in self.failures if p is not process]
+
+    def stalled_processes(self) -> list:
+        """Processes still waiting after the event heap drained.
+
+        Only meaningful once :attr:`pending` is zero: with nothing left
+        on the heap, a live process can never be resumed again, so every
+        entry returned here is deadlocked (typically a waiter orphaned by
+        an injected fault or by a kill).  With events still pending the
+        result is merely "not finished yet", not a diagnosis.
+        """
+        return [p for p in self._processes if not p.done and not p.cancelled]
+
+    def raise_failures(self, check_stalled: bool = False) -> None:
         """Re-raise the first unhandled process failure, if any.
 
         Harness code calls this after :meth:`run` so programming errors in
-        simulated code do not silently produce bogus timings.
+        simulated code do not silently produce bogus timings.  With
+        ``check_stalled=True`` it additionally raises
+        :class:`StalledProcessError` when the heap drained while spawned
+        processes were still waiting on never-completed events.
         """
         if self.failures:
             process, exc = self.failures[0]
             raise ProcessFailure(process, exc)
+        if check_stalled and not self._heap:
+            stalled = self.stalled_processes()
+            if stalled:
+                raise StalledProcessError(stalled)

@@ -60,6 +60,7 @@ class SimBarrier:
         self.parties = parties
         self.name = name
         self._arrived = 0
+        self._arrived_parties: set = set()
         self._generation = 0
         self._release = Event(sim)
         self._arrival_times: list[float] = []
@@ -71,10 +72,12 @@ class SimBarrier:
     def generation(self) -> int:
         return self._generation
 
-    def arrive(self) -> Event:
+    def arrive(self, party: Any = None) -> Event:
         """Arrive at the barrier; the returned event fires at full arrival.
 
         The event's value is the generation number that was completed.
+        ``party`` optionally identifies the arriver so a fail-stopped
+        participant can later be withdrawn via :meth:`drop_party`.
         """
         self._arrived += 1
         if self._arrived > self.parties:
@@ -82,19 +85,56 @@ class SimBarrier:
                 f"barrier {self.name!r}: {self._arrived} arrivals for "
                 f"{self.parties} parties (reuse before release?)"
             )
+        if party is not None:
+            self._arrived_parties.add(party)
         release = self._release
         if self._arrived == self.parties:
-            completed = self._generation
-            self._generation += 1
-            self._arrived = 0
-            self._release = Event(self.sim)
-            self.crossings += 1
-            now = self.sim.now
-            self.total_wait_time += sum(now - t for t in self._arrival_times)
-            self._arrival_times.clear()
-            release.succeed(completed)
+            completed = self._release_generation()
             done = Event(self.sim)
             done.succeed(completed)
             return done
         self._arrival_times.append(self.sim.now)
-        return release
+        # Each waiter gets its own event chained off the shared release:
+        # killing one blocked process then cancels only that process's
+        # event, not the generation everyone else still waits on.
+        # (succeed() on a cancelled event is a documented no-op.)
+        waiter = Event(self.sim)
+        release.add_callback(lambda ev: waiter.succeed(ev.value))
+        return waiter
+
+    def drop_party(self, party: Any = None) -> None:
+        """Fail-stop support: permanently remove one participant.
+
+        The barrier now needs one fewer arrival per generation.  If the
+        dropped party had already arrived this generation (it died while
+        blocked), its arrival is withdrawn too.  When the drop makes the
+        current generation complete, waiters are released immediately —
+        without this, survivors at the barrier would hang forever.
+        """
+        if self.parties <= 1:
+            raise SimulationError(
+                f"barrier {self.name!r}: cannot drop the last party"
+            )
+        self.parties -= 1
+        if party is not None and party in self._arrived_parties:
+            self._arrived_parties.discard(party)
+            self._arrived -= 1
+            if self._arrival_times:
+                self._arrival_times.pop()
+        if self._arrived == self.parties:
+            self._release_generation()
+
+    def _release_generation(self) -> int:
+        """Complete the current generation, waking everyone blocked."""
+        release = self._release
+        completed = self._generation
+        self._generation += 1
+        self._arrived = 0
+        self._arrived_parties.clear()
+        self._release = Event(self.sim)
+        self.crossings += 1
+        now = self.sim.now
+        self.total_wait_time += sum(now - t for t in self._arrival_times)
+        self._arrival_times.clear()
+        release.succeed(completed)
+        return completed

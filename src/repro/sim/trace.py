@@ -111,6 +111,24 @@ class StatsCollector:
     def phase(self, name: str, key=None) -> "PhaseTimer":
         return PhaseTimer(self, name, key)
 
+    def snapshot(self) -> str:
+        """Canonical text serialization of every counter/sum/series/timer.
+
+        Deterministic (keys sorted, floats via ``repr``) so two runs can
+        be compared byte-for-byte — the fault-injection determinism tests
+        assert equality of snapshots across seeded runs.
+        """
+        lines = []
+        for k in sorted(self.counters):
+            lines.append(f"count {k} {self.counters[k]}")
+        for k in sorted(self.accumulators):
+            lines.append(f"sum {k} {self.accumulators[k]!r}")
+        for k in sorted(self.series):
+            lines.append(f"series {k} {self.series[k]!r}")
+        for tk in sorted(self.timers, key=repr):
+            lines.append(f"timer {tk!r} {self.timers[tk]!r}")
+        return "\n".join(lines)
+
     def merge(self, other: "StatsCollector") -> None:
         for k, v in other.counters.items():
             self.count(k, v)

@@ -113,6 +113,13 @@ class UpcProgram:
         Network conduit name; defaults to the preset's.
     binding:
         ``"compact"`` (default), ``"sockets"`` or ``"unbound"``.
+    faults:
+        A :class:`~repro.faults.FaultPlan` (or ``--faults`` spec string)
+        injected into this run.  ``None`` or an empty plan keeps the
+        seed-identical reliable path.
+    retry:
+        GASNet :class:`~repro.gasnet.RetryPolicy` override; only
+        meaningful with ``faults``.
     """
 
     def __init__(
@@ -125,6 +132,8 @@ class UpcProgram:
         conduit: Optional[str] = None,
         binding: str = "compact",
         seed: int = 0,
+        faults=None,
+        retry=None,
     ):
         if threads < 1:
             raise UpcError(f"threads must be >= 1, got {threads}")
@@ -166,6 +175,20 @@ class UpcProgram:
             self.sim, self.topo, self.mem, self.net_params,
             locations, backend=self.backend, stats=self.stats,
         )
+        from repro.faults import FaultInjector, FaultPlan
+
+        if isinstance(faults, str):
+            faults = FaultPlan.parse(faults)
+        if faults is not None and faults.is_empty:
+            faults = None  # empty plan == no faults: stay seed-identical
+        self.fault_plan: Optional[FaultPlan] = faults
+        self.faults: Optional[FaultInjector] = None
+        self._thread_procs: Optional[List] = None
+        if faults is not None:
+            self.faults = FaultInjector(self.sim, faults, stats=self.stats)
+            self.gasnet.attach_faults(self.faults, retry=retry)
+            self.faults.on_crash(self._on_node_crash)
+
         self.world = Team(self.sim, range(threads), name="world")
         from repro.upc.sync import SplitPhaseBarrier
 
@@ -301,6 +324,45 @@ class UpcProgram:
                     masks[p] = AffinityMask((pus[i % len(pus)],))
         return [m for m in masks]  # type: ignore[return-value]
 
+    # -- fault handling ----------------------------------------------------
+
+    def dead_threads(self) -> set:
+        """UPC thread ids living on crashed nodes (empty without faults)."""
+        if self.faults is None:
+            return set()
+        return {
+            loc.thread_id
+            for loc in self.gasnet.locations
+            if loc.node in self.faults.dead_nodes
+        }
+
+    def _on_node_crash(self, crash) -> None:
+        dead = [
+            loc.thread_id
+            for loc in self.gasnet.locations
+            if loc.node == crash.node
+        ]
+        if self._thread_procs is not None:
+            for t in dead:
+                proc = self._thread_procs[t]
+                if not proc.done:
+                    proc.kill()
+                    self.stats.count("faults.threads_killed")
+        # Lock recovery: break locks whose holder died so survivors
+        # queued at the home are granted instead of waiting forever.
+        dead_set = set(dead)
+        for lock in self._locks.values():
+            if lock.break_dead_holder(dead_set):
+                self.stats.count("faults.locks_recovered")
+        # Barrier recovery: the world barrier and the split-phase pair
+        # stop counting the dead, releasing survivors blocked there.
+        # (Live threads < 1 means the whole job is gone; nothing to do.)
+        alive = self.threads - len(self.dead_threads())
+        for t in dead:
+            if alive >= 1 and self.world.drop_dead(t):
+                self.stats.count("faults.barrier_seats_dropped")
+            self.split_barrier.mark_dead(t)
+
     # -- execution ---------------------------------------------------------
 
     def run(self, main: Callable, *args: Any, **kwargs: Any) -> ProgramResult:
@@ -309,13 +371,16 @@ class UpcProgram:
         for t in range(self.threads):
             gen = main(self._contexts[t], *args, **kwargs)
             procs.append(self.sim.spawn(gen, name=f"upc{t}"))
+        self._thread_procs = procs
         self.sim.run()
         self.sim.raise_failures()
         unfinished = [p.name for p in procs if not p.done]
         if unfinished:
+            stalled = [p.name for p in self.sim.stalled_processes()]
             raise UpcError(
                 f"deadlock: threads never finished: {unfinished[:8]} "
-                f"({len(unfinished)} total)"
+                f"({len(unfinished)} total); stalled processes: "
+                f"{stalled[:12]} ({len(stalled)} total)"
             )
         return ProgramResult(
             elapsed=self.sim.now,

@@ -63,8 +63,37 @@ class UpcLock:
             )
         self._holder = None
         # Releasing notifies the home; a shared-memory round when local.
-        yield from upc.gasnet.am_roundtrip(upc.MYTHREAD, self.affinity_thread)
+        # The hand-off to queued waiters must happen even if the round
+        # fails (dead home) or the releaser is killed mid-round —
+        # otherwise the lock is leaked and every queued thief deadlocks.
+        try:
+            yield from upc.gasnet.am_roundtrip(upc.MYTHREAD, self.affinity_thread)
+        finally:
+            self._resource.release()
+
+    def abandon(self, thread: int) -> bool:
+        """Force-release ``thread``'s hold without the unlock AM round.
+
+        The failover path: a holder that cannot reach the lock's home
+        (dead affinity thread) still must hand the lock to queued
+        waiters, or they block forever.
+        """
+        if self._holder != thread:
+            return False
+        self._holder = None
         self._resource.release()
+        return True
+
+    def break_dead_holder(self, dead_threads: set) -> bool:
+        """Crash recovery: force-release when the holder fail-stopped.
+
+        Without this, survivors queued at the lock's home would wait
+        forever for a release that can never come.  Models the runtime
+        reclaiming a lock after its owner's node is declared dead.
+        """
+        if self._holder is None or self._holder not in dead_threads:
+            return False
+        return self.abandon(self._holder)
 
 
 class SplitPhaseBarrier:
@@ -87,6 +116,9 @@ class SplitPhaseBarrier:
         self._notified = 0
         self._phase = 0
         self._release = Event(sim)
+        self._dead: set = set()
+        #: live participants the phase waits for (parties minus the dead)
+        self._required = parties
 
     def notify(self, thread: int) -> None:
         """Non-blocking arrival (``upc_notify``)."""
@@ -97,7 +129,32 @@ class SplitPhaseBarrier:
             )
         self._thread_state[thread] += 1
         self._notified += 1
-        if self._notified == self.parties:
+        self._maybe_release()
+
+    def mark_dead(self, thread: int) -> bool:
+        """Fail-stop a participant: phases stop waiting for its notify.
+
+        If the dead thread had notified the current phase, its
+        contribution is withdrawn (it can never wait, and the next phase
+        must not count it).  Survivors blocked in ``wait`` are released
+        when the dead thread was the last one missing.  Returns False
+        when already marked.
+        """
+        self._check_thread(thread)
+        if thread in self._dead:
+            return False
+        self._dead.add(thread)
+        self._required -= 1
+        state = self._thread_state[thread]
+        # Withdraw its notify only if it belongs to the *current* phase;
+        # a notify for an already-released phase was consumed long ago.
+        if state % 2 == 1 and state // 2 == self._phase:
+            self._notified -= 1
+        self._maybe_release()
+        return True
+
+    def _maybe_release(self) -> None:
+        if self._required > 0 and self._notified == self._required:
             release, self._release = self._release, Event(self.sim)
             self._notified = 0
             self._phase += 1
@@ -117,7 +174,11 @@ class SplitPhaseBarrier:
             done = Event(self.sim)
             done.succeed(my_phase)
             return done
-        return self._release
+        # Per-waiter event chained off the shared release (a killed
+        # waiter must not cancel the phase out from under the others).
+        waiter = Event(self.sim)
+        self._release.add_callback(lambda ev: waiter.succeed(ev.value))
+        return waiter
 
     def _check_thread(self, thread: int) -> None:
         if not 0 <= thread < self.parties:

@@ -1,0 +1,124 @@
+"""UTS graceful degradation under injected faults (tentpole acceptance).
+
+The acceptance scenario: a node crash mid-run must complete through the
+degraded-mode path — no hang, crash-correct termination detection, the
+fault/retry counters in the report — while the same seed with an empty
+plan reproduces the seed behaviour exactly.
+"""
+
+import pytest
+
+from repro.apps.uts import UtsConfig, count_tree, run_uts, small_tree
+from repro.machine.presets import pyramid
+
+#: crash node 1 (threads 4-7 of 16) once stealing is underway
+CRASH = "crash:node=1,at=3e-5"
+
+
+def run(faults=None, threads=16, tpn=4, policy="local", **kw):
+    return run_uts(policy, tree=small_tree("small"), threads=threads,
+                   threads_per_node=tpn, preset=pyramid(nodes=threads // tpn),
+                   faults=faults, **kw)
+
+
+class TestHealthyPathUnchanged:
+    def test_no_faults_baseline(self):
+        rep = run()
+        assert rep["completed_fraction"] == 1.0
+        assert rep["threads_lost"] == 0 and rep["nodes_lost"] == 0
+        assert rep["faults_crashes"] == 0
+        assert rep["gasnet_timeouts"] == 0
+
+    def test_empty_plan_reproduces_seed_exactly(self):
+        assert run(faults="") == run(faults=None)
+
+    def test_empty_plan_object_too(self):
+        from repro.faults import FaultPlan
+        assert run(faults=FaultPlan()) == run(faults=None)
+
+
+class TestCrashDegradedMode:
+    def test_mid_run_crash_completes(self):
+        rep = run(faults=CRASH)
+        # the run terminated (we got here: no hang) with real losses...
+        assert rep["faults_crashes"] == 1
+        assert rep["threads_lost"] == 4
+        # ...while survivors still made progress, and no node was
+        # double-counted (run_uts raises on duplication)
+        expected, _ = count_tree(small_tree("small"))
+        assert 0 < rep["tree_nodes"] <= expected
+        assert 0 < rep["completed_fraction"] <= 1.0
+        assert rep["tree_nodes"] + rep["nodes_lost"] <= expected
+
+    def test_crash_during_startup_fails_fast(self):
+        # A crash at t=0 hits the startup *collective* (group split),
+        # whose rendezvous needs every thread's payload — unrecoverable
+        # by design.  The job must abort with the quiescence diagnostic,
+        # not hang: the event heap drains and the stall is reported.
+        from repro.errors import UpcError
+        with pytest.raises(UpcError, match="deadlock"):
+            run(faults="crash:node=1,at=0")
+
+    def test_crash_is_deterministic(self):
+        assert run(faults=CRASH) == run(faults=CRASH)
+
+    def test_steals_route_around_dead_victims(self):
+        rep = run(faults=CRASH)
+        # survivors either blacklisted the dead node after a failed
+        # steal, or never picked it; either way stealing continued
+        assert rep["steals"] > 0
+        assert rep["victims_blacklisted"] >= 0
+
+
+class TestLossyLinks:
+    def test_retransmits_recover_everything(self):
+        rep = run(faults="loss:prob=0.05;seed=11")
+        assert rep["completed_fraction"] == 1.0
+        assert rep["gasnet_timeouts"] > 0
+        assert rep["gasnet_retransmits"] >= rep["gasnet_timeouts"]
+        assert rep["net_messages_lost"] > 0
+        assert rep["threads_lost"] == 0
+
+    def test_corruption_also_recovered(self):
+        rep = run(faults="corrupt:prob=0.05;seed=11")
+        assert rep["completed_fraction"] == 1.0
+
+    def test_lossy_run_is_deterministic(self):
+        spec = "loss:prob=0.08;corrupt:prob=0.03;seed=5"
+        assert run(faults=spec) == run(faults=spec)
+
+
+class TestDegradedLinks:
+    def test_degradation_slows_but_completes(self):
+        # Degrade every NIC: single-node degradation can shift the
+        # adaptive steal pattern and come out net-neutral, but a
+        # cluster-wide 20x slowdown must cost wall-clock time.
+        spec = ";".join(
+            f"degrade:node={n},start=0,end=1,factor=0.05" for n in range(4)
+        )
+        healthy = run()
+        rep = run(faults=spec)
+        assert rep["completed_fraction"] == 1.0
+        assert rep["threads_lost"] == 0
+        assert rep["elapsed_s"] > healthy["elapsed_s"]
+
+
+class TestCombinedScenario:
+    def test_crash_plus_loss(self):
+        spec = "crash:node=1,at=4e-5;loss:prob=0.03;seed=2"
+        rep = run(faults=spec)
+        assert rep["faults_crashes"] == 1
+        assert 0 < rep["completed_fraction"] <= 1.0
+        assert run(faults=spec) == rep  # deterministic end to end
+
+    def test_verification_can_be_disabled(self):
+        cfg = UtsConfig(policy="local", steal_chunk=8, verify=False)
+        rep = run(faults=CRASH, config=cfg)
+        assert rep["completed_fraction"] is None
+
+
+class TestParsingErrorsSurface:
+    def test_bad_spec_raises_at_construction(self):
+        from repro.errors import FaultError
+        with pytest.raises(FaultError):
+            run(faults="loss:prob=high")

@@ -1,0 +1,135 @@
+"""Unit tests for FaultInjector: crash firing, degradation, message fates."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultInjector, FaultPlan, LinkDegradation, \
+    MessageFaultRule, NodeCrash
+from repro.machine import MachineSpec, MachineTopology, NodeSpec
+from repro.network import Fabric, NetworkParams
+from repro.sim import Simulator
+
+GB = 1e9
+
+
+def make_fabric(sim, nodes=2):
+    topo = MachineTopology(
+        MachineSpec(name="t", nodes=nodes, node=NodeSpec(2, 2, 1))
+    )
+    params = NetworkParams(
+        latency=1e-6, send_overhead=0.0, recv_overhead=0.0, gap=0.0,
+        connection_bw=1 * GB, nic_bw=2 * GB, loopback_bw=4 * GB,
+        loopback_latency=0.5e-6, qp_penalty=0.0,
+    )
+    return Fabric(sim, topo, params)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestCrash:
+    def test_crash_fires_at_scheduled_time(self, sim):
+        plan = FaultPlan(crashes=(NodeCrash(node=1, at=2e-3),))
+        inj = FaultInjector(sim, plan)
+        inj.attach(make_fabric(sim))
+        seen = []
+        inj.on_crash(lambda crash: seen.append((sim.now, crash.node)))
+        assert inj.node_alive(1)
+        sim.run()
+        assert seen == [(2e-3, 1)]
+        assert not inj.node_alive(1)
+        assert inj.dead_nodes == {1}
+        assert inj.stats.get_count("faults.crashes") == 1
+
+    def test_duplicate_crash_fires_once(self, sim):
+        plan = FaultPlan(crashes=(NodeCrash(0, 1e-3), NodeCrash(0, 2e-3)))
+        inj = FaultInjector(sim, plan)
+        inj.attach(make_fabric(sim))
+        seen = []
+        inj.on_crash(lambda crash: seen.append(crash.at))
+        sim.run()
+        assert seen == [1e-3]
+        assert inj.stats.get_count("faults.crashes") == 1
+
+    def test_attach_twice_rejected(self, sim):
+        inj = FaultInjector(sim, FaultPlan())
+        inj.attach(make_fabric(sim))
+        with pytest.raises(FaultError, match="already attached"):
+            inj.attach(make_fabric(sim))
+
+
+class TestDegradation:
+    def test_factor_only_inside_window(self, sim):
+        plan = FaultPlan(degradations=(
+            LinkDegradation(node=0, start=1.0, end=2.0, factor=0.5),
+        ))
+        inj = FaultInjector(sim, plan)
+        assert inj.degrade_factor(0) == 1.0  # now=0, before window
+        sim.schedule_at(1.5, lambda: None)
+        sim.run()
+        assert inj.degrade_factor(0) == 0.5
+        assert inj.degrade_factor(1) == 1.0  # other node unaffected
+        sim.schedule_at(2.0, lambda: None)
+        sim.run()
+        assert inj.degrade_factor(0) == 1.0  # end is exclusive
+
+    def test_overlapping_windows_compound(self, sim):
+        plan = FaultPlan(degradations=(
+            LinkDegradation(node=0, start=0.0, end=2.0, factor=0.5),
+            LinkDegradation(node=0, start=0.0, end=1.0, factor=0.5),
+        ))
+        inj = FaultInjector(sim, plan)
+        assert inj.degrade_factor(0) == 0.25
+
+
+class TestMessageFate:
+    def test_no_rules_always_ok(self, sim):
+        inj = FaultInjector(sim, FaultPlan())
+        assert all(inj.message_fate(0, 1) == "ok" for _ in range(50))
+
+    def test_prob_one_always_hits(self, sim):
+        plan = FaultPlan(message_rules=(MessageFaultRule("loss", 1.0),))
+        inj = FaultInjector(sim, plan)
+        assert all(inj.message_fate(0, 1) == "lost" for _ in range(20))
+        assert inj.stats.get_count("faults.messages_lost") == 20
+
+    def test_prob_zero_never_hits(self, sim):
+        plan = FaultPlan(message_rules=(MessageFaultRule("corrupt", 0.0),))
+        inj = FaultInjector(sim, plan)
+        assert all(inj.message_fate(0, 1) == "ok" for _ in range(20))
+
+    def test_first_matching_rule_wins(self, sim):
+        plan = FaultPlan(message_rules=(
+            MessageFaultRule("corrupt", 1.0, src_node=0),
+            MessageFaultRule("loss", 1.0),
+        ))
+        inj = FaultInjector(sim, plan)
+        assert inj.message_fate(0, 1) == "corrupt"
+        assert inj.message_fate(1, 0) == "lost"
+
+    def test_dead_node_black_holes_both_directions(self, sim):
+        inj = FaultInjector(sim, FaultPlan())
+        inj.dead_nodes.add(1)
+        assert inj.message_fate(0, 1) == "lost"
+        assert inj.message_fate(1, 0) == "lost"
+        assert inj.message_fate(0, 2) == "ok"
+        assert inj.stats.get_count("faults.messages_blackholed") == 2
+
+    def test_draws_are_seed_deterministic(self, sim):
+        plan = FaultPlan(message_rules=(MessageFaultRule("loss", 0.5),), seed=9)
+        a = FaultInjector(Simulator(), plan)
+        b = FaultInjector(Simulator(), plan)
+        fates_a = [a.message_fate(0, 1) for _ in range(200)]
+        fates_b = [b.message_fate(0, 1) for _ in range(200)]
+        assert fates_a == fates_b
+        assert "lost" in fates_a and "ok" in fates_a  # actually mixed
+
+    def test_different_seed_different_draws(self, sim):
+        rule = MessageFaultRule("loss", 0.5)
+        a = FaultInjector(Simulator(), FaultPlan(message_rules=(rule,), seed=1))
+        b = FaultInjector(Simulator(), FaultPlan(message_rules=(rule,), seed=2))
+        fates_a = [a.message_fate(0, 1) for _ in range(200)]
+        fates_b = [b.message_fate(0, 1) for _ in range(200)]
+        assert fates_a != fates_b

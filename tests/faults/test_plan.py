@@ -1,0 +1,125 @@
+"""Unit tests for the declarative fault-plan grammar and validation."""
+
+import math
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FaultPlan, LinkDegradation, MessageFaultRule, NodeCrash
+
+
+class TestValidation:
+    def test_crash_rejects_negative(self):
+        with pytest.raises(FaultError):
+            NodeCrash(node=-1, at=0.0)
+        with pytest.raises(FaultError):
+            NodeCrash(node=0, at=-1.0)
+
+    def test_degradation_factor_range(self):
+        with pytest.raises(FaultError):
+            LinkDegradation(node=0, start=0, end=1, factor=0.0)
+        with pytest.raises(FaultError):
+            LinkDegradation(node=0, start=0, end=1, factor=1.5)
+        LinkDegradation(node=0, start=0, end=1, factor=1.0)  # boundary ok
+
+    def test_degradation_window_must_be_nonempty(self):
+        with pytest.raises(FaultError):
+            LinkDegradation(node=0, start=2.0, end=2.0, factor=0.5)
+        with pytest.raises(FaultError):
+            LinkDegradation(node=0, start=3.0, end=2.0, factor=0.5)
+
+    def test_rule_kind_and_prob(self):
+        with pytest.raises(FaultError):
+            MessageFaultRule(kind="drop", prob=0.5)
+        with pytest.raises(FaultError):
+            MessageFaultRule(kind="loss", prob=1.5)
+        MessageFaultRule(kind="loss", prob=0.0)
+        MessageFaultRule(kind="corrupt", prob=1.0)
+
+    def test_rule_window_must_be_nonempty(self):
+        with pytest.raises(FaultError):
+            MessageFaultRule(kind="loss", prob=0.1, start=5.0, end=5.0)
+
+
+class TestRuleMatching:
+    def test_filters(self):
+        rule = MessageFaultRule(kind="loss", prob=1.0, src_node=1, dst_node=2,
+                                start=1.0, end=2.0)
+        assert rule.matches(1, 2, 1.5)
+        assert not rule.matches(0, 2, 1.5)  # wrong source
+        assert not rule.matches(1, 3, 1.5)  # wrong destination
+        assert not rule.matches(1, 2, 0.5)  # before window
+        assert not rule.matches(1, 2, 2.0)  # end is exclusive
+
+    def test_wildcards(self):
+        rule = MessageFaultRule(kind="corrupt", prob=0.5)
+        assert rule.matches(0, 1, 0.0)
+        assert rule.matches(7, 7, 1e9)
+
+
+class TestPlan:
+    def test_empty(self):
+        assert FaultPlan().is_empty
+        assert not FaultPlan(crashes=(NodeCrash(0, 1.0),)).is_empty
+
+    def test_crash_time_takes_earliest(self):
+        plan = FaultPlan(crashes=(NodeCrash(2, 5.0), NodeCrash(2, 3.0),
+                                  NodeCrash(1, 1.0)))
+        assert plan.crash_time(2) == 3.0
+        assert plan.crash_time(1) == 1.0
+        assert plan.crash_time(0) is None
+
+
+class TestParse:
+    def test_full_grammar(self):
+        plan = FaultPlan.parse(
+            "crash:node=1,at=2e-3;"
+            "degrade:node=0,start=1e-3,end=4e-3,factor=0.25;"
+            "loss:prob=0.05,src=1,dst=2,start=0.5,end=1.5;"
+            "corrupt:prob=0.02;"
+            "seed=7"
+        )
+        assert plan.crashes == (NodeCrash(node=1, at=2e-3),)
+        assert plan.degradations == (
+            LinkDegradation(node=0, start=1e-3, end=4e-3, factor=0.25),
+        )
+        assert plan.message_rules == (
+            MessageFaultRule(kind="loss", prob=0.05, src_node=1, dst_node=2,
+                             start=0.5, end=1.5),
+            MessageFaultRule(kind="corrupt", prob=0.02, start=0.0, end=math.inf),
+        )
+        assert plan.seed == 7
+
+    def test_empty_spec_is_empty_plan(self):
+        assert FaultPlan.parse("").is_empty
+        assert FaultPlan.parse(" ; ; ").is_empty
+
+    def test_whitespace_tolerated(self):
+        plan = FaultPlan.parse(" crash : node = 1 , at = 0.5 ".replace(" ", ""))
+        assert plan.crashes[0] == NodeCrash(1, 0.5)
+
+    def test_seed_argument_overridden_by_clause(self):
+        assert FaultPlan.parse("loss:prob=0.1", seed=3).seed == 3
+        assert FaultPlan.parse("loss:prob=0.1;seed=9", seed=3).seed == 9
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault clause"):
+            FaultPlan.parse("explode:node=0")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(FaultError, match="unknown key"):
+            FaultPlan.parse("crash:node=0,at=1,color=red")
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(FaultError, match="needs at="):
+            FaultPlan.parse("crash:node=0")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(FaultError, match="bad prob"):
+            FaultPlan.parse("loss:prob=lots")
+        with pytest.raises(FaultError, match="key=value"):
+            FaultPlan.parse("loss:prob")
+
+    def test_roundtrip_determinism(self):
+        spec = "crash:node=3,at=1e-4;loss:prob=0.5;seed=42"
+        assert FaultPlan.parse(spec) == FaultPlan.parse(spec)

@@ -7,11 +7,11 @@ from repro.harness.__main__ import main as cli_main
 
 
 class TestRegistry:
-    def test_all_ten_artifacts_registered(self):
+    def test_all_artifacts_registered(self):
         ids = EXPERIMENTS.ids()
         assert sorted(ids) == sorted(
             ["t2_1", "t3_1", "t3_2", "f3_3", "f3_4",
-             "f4_2", "t4_1", "f4_4", "f4_5", "f4_6"]
+             "f4_2", "t4_1", "f4_4", "f4_5", "f4_6", "r1"]
         )
 
     def test_contains(self):
@@ -37,6 +37,13 @@ class TestRegistry:
             exp = get_experiment(eid)
             assert exp.experiment_id == eid
             assert exp.title
+
+    def test_faults_rejected_by_paper_artifacts(self):
+        # only experiments that opt in (accepts_faults) take a --faults
+        # spec; the paper artifacts model a fail-free cluster
+        with pytest.raises(ValueError, match="does not accept"):
+            run_experiment("t2_1", faults="loss:prob=0.5")
+        assert get_experiment("r1").accepts_faults
 
 
 class TestRunExperiment:

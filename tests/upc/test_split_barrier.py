@@ -117,3 +117,56 @@ class TestUpcNotifyWait:
 
         with pytest.raises(Exception, match="without"):
             prog.run(main)
+
+
+class TestSplitPhaseFailStop:
+    """mark_dead: crashed threads must not strand a split-phase pair."""
+
+    def test_dead_thread_that_never_notified(self, sim):
+        bar = SplitPhaseBarrier(sim, 3)
+        bar.notify(0)
+        bar.notify(1)
+        assert not bar.wait(0).done
+        assert bar.mark_dead(2)
+        assert bar.wait(1).done  # phase released by the drop
+
+    def test_dead_thread_that_notified_current_phase(self, sim):
+        bar = SplitPhaseBarrier(sim, 3)
+        bar.notify(0)  # then dies while others compute
+        bar.mark_dead(0)
+        bar.notify(1)
+        bar.notify(2)
+        assert bar.wait(1).done  # 0's withdrawn notify was not counted
+
+    def test_dead_thread_notify_from_released_phase_not_withdrawn(self, sim):
+        bar = SplitPhaseBarrier(sim, 2)
+        bar.notify(0)
+        bar.notify(1)  # phase 0 releases here; both are "expecting wait"
+        bar.mark_dead(1)
+        assert bar.wait(0).done
+        # next phase is thread 0 alone
+        bar.notify(0)
+        assert bar.wait(0).done
+
+    def test_mark_dead_idempotent(self, sim):
+        bar = SplitPhaseBarrier(sim, 3)
+        assert bar.mark_dead(2)
+        assert not bar.mark_dead(2)
+
+    def test_program_crash_mid_barrier_releases_survivors(self):
+        # End-to-end: half the job dies while everyone is blocked in
+        # upc_barrier; the crash handler drops the dead seats and the
+        # survivors cross instead of deadlocking.
+        prog = make_program(threads=4, nodes=2, threads_per_node=2,
+                            faults="crash:node=1,at=5e-5")
+
+        def main(upc):
+            # survivors are still computing when the crash fires, so the
+            # dead threads are blocked *inside* the barrier at that point
+            yield from upc.compute(1e-4 if upc.MYTHREAD < 2 else 1e-6)
+            yield from upc.barrier()  # threads 2,3 die waiting here
+            return upc.MYTHREAD
+
+        res = prog.run(main)
+        assert res.returns[0] == 0 and res.returns[1] == 1
+        assert res.returns[2] is None and res.returns[3] is None
