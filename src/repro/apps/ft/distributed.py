@@ -31,6 +31,7 @@ from repro.apps.ft.classes import FtClass, ft_class
 from repro.apps.ft.data import FtState
 from repro.apps.ft.kernel import evolve_factors, serial_ft
 from repro.machine.presets import PlatformPreset, lehman
+from repro.obs import names
 from repro.subthreads import Cilk, OpenMP, ThreadPool, ThreadSafety
 from repro.upc import UpcProgram, collectives
 
@@ -479,7 +480,7 @@ def run_ft(
         "gflops": total_flops / elapsed / 1e9,
         "phases": phases,
         "comm_s": phases["alltoall"],
-        "waitsync_s": res.stats.get_sum("gasnet.waitsync_time"),
+        "waitsync_s": res.stats.get_sum(names.GASNET_WAITSYNC_TIME),
         "checksums": checksums,
         "verified": bool(cfg.should_verify and state.real),
     }
@@ -542,6 +543,6 @@ def run_exchange_only(
         "privatized": privatized,
         "asynchronous": asynchronous,
         "exchange_s": elapsed,
-        "waitsync_s": res.stats.get_sum("gasnet.waitsync_time") / repeats,
+        "waitsync_s": res.stats.get_sum(names.GASNET_WAITSYNC_TIME) / repeats,
         "bytes_per_pair": state.bytes_per_pair,
     }

@@ -25,6 +25,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.machine.presets import PlatformPreset, lehman
+from repro.obs import names
 from repro.sim.rng import splitmix64
 from repro.upc import UpcProgram
 from repro.upc.groups import shared_memory_group
@@ -98,7 +99,7 @@ def _gups_main(upc, cfg: GupsConfig, table: np.ndarray, received: Dict[int, int]
                     # read-modify-write: a get then a put per update
                     yield from upc.memget(owner, _WORD)
                     yield from upc.memput(owner, _WORD)
-        upc.stats.count("gups.remote_updates", remote)
+        upc.stats.count(names.GUPS_REMOTE_UPDATES, remote)
     else:
         use_groups = cfg.variant == "groups"
         np.bitwise_xor.at(table, idx, val)
@@ -108,7 +109,7 @@ def _gups_main(upc, cfg: GupsConfig, table: np.ndarray, received: Dict[int, int]
         def flush(owner: int, count: int):
             yield from upc.memput(owner, count * 2 * _WORD)  # index+value
             received[owner] = received.get(owner, 0) + count
-            upc.stats.count("gups.bucket_flushes")
+            upc.stats.count(names.GUPS_BUCKET_FLUSHES)
 
         for start in range(0, len(idx), cfg.charge_chunk):
             chunk_owners = owners[start:start + cfg.charge_chunk]
@@ -178,7 +179,7 @@ def run_gups(
         "elapsed_s": elapsed,
         "gups": total_updates / elapsed / 1e9,
         "updates": total_updates,
-        "bucket_flushes": res.stats.get_count("gups.bucket_flushes"),
-        "remote_updates": res.stats.get_count("gups.remote_updates"),
+        "bucket_flushes": res.stats.get_count(names.GUPS_BUCKET_FLUSHES),
+        "remote_updates": res.stats.get_count(names.GUPS_REMOTE_UPDATES),
         "verified": verify,
     }

@@ -27,6 +27,8 @@ from repro.apps.uts.stealstack import NODE_BYTES, StealStack
 from repro.apps.uts.tree import TreeParams, count_tree, expand, root_node
 from repro.errors import EndpointFailedError
 from repro.machine.presets import PlatformPreset, pyramid
+from repro.obs import names
+from repro.obs.tracer import thread_track
 from repro.sim import Condition
 from repro.upc import UpcProgram
 from repro.upc.groups import shared_memory_group
@@ -180,6 +182,23 @@ def _steal_round(upc, cfg: UtsConfig, stacks: List[StealStack],
 def _try_steal(upc, cfg: UtsConfig, stacks: List[StealStack],
                glob: _Global, local_set: set, v: int):
     """Probe one victim; True when its work landed on our stack."""
+    tracer = upc.sim.tracer
+    if not tracer.enabled:
+        result = yield from _try_steal_impl(upc, cfg, stacks, glob, local_set, v)
+        return result
+    span = tracer.begin(
+        thread_track(upc.MYTHREAD), f"steal<-{v}", names.CAT_STEAL,
+        args={"victim": v, "thief": upc.MYTHREAD},
+    )
+    try:
+        result = yield from _try_steal_impl(upc, cfg, stacks, glob, local_set, v)
+        return result
+    finally:
+        tracer.end(span)
+
+
+def _try_steal_impl(upc, cfg: UtsConfig, stacks: List[StealStack],
+                    glob: _Global, local_set: set, v: int):
     me = upc.MYTHREAD
     ss_v = stacks[v]
     stacks[me].steals_attempted += 1
@@ -222,8 +241,8 @@ def _try_steal(upc, cfg: UtsConfig, stacks: List[StealStack],
         got_work = True
         stacks[me].steals_successful += 1
         kind = "local" if v in local_set else "remote"
-        upc.stats.count(f"uts.steal_{kind}")
-        upc.stats.count("uts.nodes_stolen", len(nodes))
+        upc.stats.count(names.uts_steal(kind))
+        upc.stats.count(names.UTS_NODES_STOLEN, len(nodes))
         holding_lock = False
         yield from lock.release(upc)
         if glob.idle and stacks[me].available_to_steal > 0:
@@ -234,10 +253,10 @@ def _try_steal(upc, cfg: UtsConfig, stacks: List[StealStack],
         # in flight from its (now unreachable) segment, and make sure
         # the lock is not left dangling for other queued thieves.
         glob.blacklist.add(v)
-        upc.stats.count("uts.victims_blacklisted")
+        upc.stats.count(names.UTS_VICTIMS_BLACKLISTED)
         if in_flight:
             glob.end_transit(me, in_flight, lost=True)
-            upc.stats.count("uts.nodes_lost_in_transit", in_flight)
+            upc.stats.count(names.UTS_NODES_LOST_IN_TRANSIT, in_flight)
         if holding_lock and lock is not None:
             lock.abandon(me)
         return got_work
@@ -313,8 +332,8 @@ def run_uts(
     elapsed = (
         max(r["elapsed"] for r in alive_returns) if alive_returns else res.elapsed
     )
-    local = res.stats.get_count("uts.steal_local")
-    remote = res.stats.get_count("uts.steal_remote")
+    local = res.stats.get_count(names.UTS_STEAL_LOCAL)
+    remote = res.stats.get_count(names.UTS_STEAL_REMOTE)
     steals = local + remote
     report = {
         "policy": cfg.policy,
@@ -328,21 +347,21 @@ def run_uts(
         "steals_local": local,
         "steals_remote": remote,
         "pct_local_steals": 100.0 * local / steals if steals else 0.0,
-        "nodes_stolen": res.stats.get_count("uts.nodes_stolen"),
+        "nodes_stolen": res.stats.get_count(names.UTS_NODES_STOLEN),
         "avg_steal_size": (
-            res.stats.get_count("uts.nodes_stolen") / steals if steals else 0.0
+            res.stats.get_count(names.UTS_NODES_STOLEN) / steals if steals else 0.0
         ),
         # Completed-work-under-failure: on a healthy verified run this
         # is exactly 1.0; with faults it is the surviving fraction.
         "threads_lost": len(glob.dead),
         "nodes_lost": glob.lost_nodes,
         "completed_fraction": (total / expected) if expected else None,
-        "faults_crashes": res.stats.get_count("faults.crashes"),
-        "net_messages_lost": res.stats.get_count("net.messages_lost"),
-        "gasnet_timeouts": res.stats.get_count("gasnet.timeouts"),
-        "gasnet_retransmits": res.stats.get_count("gasnet.retransmits"),
-        "victims_blacklisted": res.stats.get_count("uts.victims_blacklisted"),
-        "locks_recovered": res.stats.get_count("faults.locks_recovered"),
+        "faults_crashes": res.stats.get_count(names.FAULTS_CRASHES),
+        "net_messages_lost": res.stats.get_count(names.NET_MESSAGES_LOST),
+        "gasnet_timeouts": res.stats.get_count(names.GASNET_TIMEOUTS),
+        "gasnet_retransmits": res.stats.get_count(names.GASNET_RETRANSMITS),
+        "victims_blacklisted": res.stats.get_count(names.UTS_VICTIMS_BLACKLISTED),
+        "locks_recovered": res.stats.get_count(names.FAULTS_LOCKS_RECOVERED),
     }
     return report
 
@@ -366,10 +385,10 @@ def _handle_crash(prog: UpcProgram, stacks: List[StealStack],
         dropped = stacks[t].drop_all()
         glob.lost_nodes += dropped
         if dropped:
-            prog.stats.count("uts.nodes_lost_on_stack", dropped)
+            prog.stats.count(names.UTS_NODES_LOST_ON_STACK, dropped)
         stranded = glob.transit_by.pop(t, 0)
         if stranded:
             glob.in_transit -= stranded
             glob.lost_nodes += stranded
-            prog.stats.count("uts.nodes_lost_in_transit", stranded)
+            prog.stats.count(names.UTS_NODES_LOST_IN_TRANSIT, stranded)
     glob.work_cond.notify_all()

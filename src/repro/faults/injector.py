@@ -22,6 +22,8 @@ from typing import Callable, List, Optional, Set
 
 from repro.errors import FaultError
 from repro.faults.plan import FaultPlan, NodeCrash
+from repro.obs import names
+from repro.obs.tracer import node_track
 from repro.sim import Simulator, SplittableRNG, StatsCollector
 
 __all__ = ["FaultInjector"]
@@ -70,7 +72,7 @@ class FaultInjector:
             # in-flight transfers finish at the correct mixed rate.
             self.sim.schedule_at(win.start, self._reprice, win.node)
             self.sim.schedule_at(win.end, self._reprice, win.node)
-            self.stats.count("faults.degrade_windows")
+            self.stats.count(names.FAULTS_DEGRADE_WINDOWS)
 
     # -- crashes ---------------------------------------------------------
 
@@ -78,8 +80,12 @@ class FaultInjector:
         if crash.node in self.dead_nodes:
             return
         self.dead_nodes.add(crash.node)
-        self.stats.count("faults.crashes")
-        self.stats.record("faults.crash_times", self.sim.now)
+        self.stats.count(names.FAULTS_CRASHES)
+        self.stats.record(names.FAULTS_CRASH_TIMES, self.sim.now)
+        if self.sim.tracer.enabled:
+            self.sim.tracer.instant(
+                node_track(crash.node), "node crash", names.CAT_FAULT
+            )
         for callback in self._crash_callbacks:
             callback(crash)
 
@@ -111,7 +117,7 @@ class FaultInjector:
         whose probability draw hits decides.
         """
         if src_node in self.dead_nodes or dst_node in self.dead_nodes:
-            self.stats.count("faults.messages_blackholed")
+            self.stats.count(names.FAULTS_MESSAGES_BLACKHOLED)
             return "lost"
         now = self.sim.now
         for rule in self.plan.message_rules:
@@ -119,8 +125,8 @@ class FaultInjector:
                 continue
             if rule.prob > 0 and self._rng.random() < rule.prob:
                 if rule.kind == "loss":
-                    self.stats.count("faults.messages_lost")
+                    self.stats.count(names.FAULTS_MESSAGES_LOST)
                     return "lost"
-                self.stats.count("faults.messages_corrupted")
+                self.stats.count(names.FAULTS_MESSAGES_CORRUPTED)
                 return "corrupt"
         return "ok"

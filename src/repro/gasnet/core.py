@@ -23,6 +23,8 @@ from repro.machine.memory import MemorySystem
 from repro.machine.topology import MachineTopology
 from repro.network.fabric import Fabric
 from repro.network.model import NetworkParams
+from repro.obs import names
+from repro.obs.tracer import META_TRACK, thread_track
 from repro.sim import Simulator, StatsCollector
 
 __all__ = ["ThreadLocation", "BackendConfig", "RetryPolicy", "GasnetRuntime"]
@@ -168,12 +170,18 @@ class GasnetRuntime:
         op_factory: Callable[[], Generator],
         expected: float,
         desc: str,
+        src_thread: Optional[int] = None,
     ) -> Generator:
         """Run a network op with timeout + retransmit (injector present)."""
         policy = self.retry
+        tracer = self.sim.tracer
+        track = thread_track(src_thread) if src_thread is not None else META_TRACK
         for attempt in range(policy.max_attempts):
             if attempt:
-                self.stats.count("gasnet.retransmits")
+                self.stats.count(names.GASNET_RETRANSMITS)
+                if tracer.enabled:
+                    tracer.instant(track, f"retransmit {desc}",
+                                   names.CAT_NETWORK, args={"attempt": attempt})
             proc = self.sim.spawn(op_factory(), name=f"gasnet.try[{desc}]")
             timeout = self.sim.delay(policy.timeout_for(expected, attempt))
             try:
@@ -181,13 +189,18 @@ class GasnetRuntime:
             except MessageCorruptedError:
                 # Delivered but mangled: the receiver NAKs, we retransmit.
                 self.sim.forgive_failure(proc)
-                self.stats.count("gasnet.corrupt_detected")
+                self.stats.count(names.GASNET_CORRUPT_DETECTED)
+                if tracer.enabled:
+                    tracer.instant(track, f"corrupt {desc}", names.CAT_NETWORK)
                 continue
             if index == 0:
                 return
             proc.kill()
-            self.stats.count("gasnet.timeouts")
-        self.stats.count("gasnet.endpoint_failures")
+            self.stats.count(names.GASNET_TIMEOUTS)
+            if tracer.enabled:
+                tracer.instant(track, f"timeout {desc}", names.CAT_NETWORK,
+                               args={"attempt": attempt})
+        self.stats.count(names.GASNET_ENDPOINT_FAILURES)
         raise EndpointFailedError(
             peer_thread,
             f"{desc}: peer thread {peer_thread} unreachable after "
@@ -246,13 +259,42 @@ class GasnetRuntime:
         CPU-side costs to another core — how a *sub-thread* of the UPC
         thread issues communication under THREAD_MULTIPLE.
         """
+        tracer = self.sim.tracer
+        if not tracer.enabled:
+            yield from self._xfer(
+                src_thread, dst_thread, nbytes, direction, privatized,
+                initiator_pu,
+            )
+            return
+        span = tracer.begin(
+            thread_track(src_thread), f"{direction}->{dst_thread}",
+            names.CAT_NETWORK,
+            args={"bytes": nbytes, "peer": dst_thread},
+        )
+        try:
+            yield from self._xfer(
+                src_thread, dst_thread, nbytes, direction, privatized,
+                initiator_pu,
+            )
+        finally:
+            tracer.end(span)
+
+    def _xfer(
+        self,
+        src_thread: int,
+        dst_thread: int,
+        nbytes: float,
+        direction: str,
+        privatized: bool,
+        initiator_pu: Optional[int],
+    ) -> Generator:
         if direction not in ("put", "get"):
             raise GasnetError(f"bad direction {direction!r}")
         src = self.location(src_thread)
         if initiator_pu is None:
             initiator_pu = src.pu
-        self.stats.count(f"gasnet.{direction}")
-        self.stats.add("gasnet.bytes", nbytes)
+        self.stats.count(names.gasnet_op(direction))
+        self.stats.add(names.GASNET_BYTES, nbytes)
 
         if privatized:
             if not self.can_bypass(src_thread, dst_thread):
@@ -268,7 +310,7 @@ class GasnetRuntime:
 
         yield self.mem.compute(initiator_pu, self.backend.op_overhead)
         if self.can_bypass(src_thread, dst_thread):
-            self.stats.count("gasnet.bypass")
+            self.stats.count(names.GASNET_BYPASS)
             yield from self._bypass_copy(
                 initiator_pu, src_thread, dst_thread, nbytes, direction,
                 overhead=self.backend.bypass_overhead,
@@ -289,6 +331,7 @@ class GasnetRuntime:
             yield from self._reliable(
                 dst_thread, op, expected,
                 f"{direction}[{src_thread}->{dst_thread}]",
+                src_thread=src_thread,
             )
 
     def _bypass_copy(
@@ -326,11 +369,38 @@ class GasnetRuntime:
         round; across the network it pays both message flights plus the
         handler's CPU time on the target core.
         """
+        tracer = self.sim.tracer
+        if not tracer.enabled:
+            yield from self._am_roundtrip(
+                src_thread, dst_thread, request_bytes, reply_bytes,
+                handler_work,
+            )
+            return
+        span = tracer.begin(
+            thread_track(src_thread), f"am<->{dst_thread}", names.CAT_NETWORK,
+            args={"peer": dst_thread},
+        )
+        try:
+            yield from self._am_roundtrip(
+                src_thread, dst_thread, request_bytes, reply_bytes,
+                handler_work,
+            )
+        finally:
+            tracer.end(span)
+
+    def _am_roundtrip(
+        self,
+        src_thread: int,
+        dst_thread: int,
+        request_bytes: float,
+        reply_bytes: float,
+        handler_work: Optional[float],
+    ) -> Generator:
         src = self.location(src_thread)
         dst = self.location(dst_thread)
         if handler_work is None:
             handler_work = self.backend.am_handler_time
-        self.stats.count("gasnet.am_roundtrips")
+        self.stats.count(names.GASNET_AM_ROUNDTRIPS)
         if self.can_bypass(src_thread, dst_thread):
             yield self.mem.compute(src.pu, self.backend.shm_roundtrip)
             return
@@ -354,5 +424,6 @@ class GasnetRuntime:
             yield from self._reliable(
                 dst_thread, round_, expected,
                 f"am[{src_thread}<->{dst_thread}]",
+                src_thread=src_thread,
             )
         yield self.mem.compute(src.pu, self.fabric.params.recv_overhead)

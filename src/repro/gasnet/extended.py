@@ -14,6 +14,7 @@ from typing import Generator, Optional
 
 from repro.errors import GasnetError
 from repro.gasnet.core import GasnetRuntime
+from repro.obs import names
 from repro.sim.engine import Process
 
 __all__ = ["Handle", "put_nb", "get_nb", "put", "get"]
@@ -43,8 +44,10 @@ class Handle:
         self._synced = True
         start = self._runtime.sim.now
         yield self._process
-        self._runtime.stats.add("gasnet.waitsync_time", self._runtime.sim.now - start)
-        self._runtime.stats.count("gasnet.waitsync")
+        self._runtime.stats.add(
+            names.GASNET_WAITSYNC_TIME, self._runtime.sim.now - start
+        )
+        self._runtime.stats.count(names.GASNET_WAITSYNC)
 
 
 def put_nb(

@@ -12,6 +12,8 @@ from __future__ import annotations
 from typing import Generator, Optional, Sequence
 
 from repro.errors import GasnetError
+from repro.obs import names
+from repro.obs.tracer import thread_track
 from repro.sim import SimBarrier, Simulator
 
 __all__ = ["Team"]
@@ -71,7 +73,19 @@ class Team:
     def barrier(self, thread_id: int) -> Generator:
         """Simulated generator: team barrier (all live members must call)."""
         self.rank(thread_id)  # membership check
-        yield self._barrier.arrive(party=thread_id)
+        tracer = self.sim.tracer
+        if not tracer.enabled:
+            yield self._barrier.arrive(party=thread_id)
+            return
+        span = tracer.begin(
+            thread_track(thread_id), f"barrier {self.name}", names.CAT_BARRIER
+        )
+        try:
+            yield self._barrier.arrive(party=thread_id)
+        finally:
+            # The last arriver released us; recording it lets the
+            # critical-path walk jump to the straggler's track.
+            tracer.end(span, args={"releaser": self._barrier.last_arriver})
 
     def drop_dead(self, thread_id: int) -> bool:
         """Fail-stop a member: future barriers no longer count it.

@@ -6,6 +6,8 @@ Examples::
     python -m repro.harness t3_1 t4_1
     python -m repro.harness --all --scale quick --out results.md
     python -m repro.harness r1 --faults "crash:node=2,at=5e-5;seed=7"
+    python -m repro.harness run f4_2 --scale quick --trace /tmp/t.json
+    python -m repro.harness f4_2 --report-breakdown
 """
 
 from __future__ import annotations
@@ -33,7 +35,19 @@ def main(argv=None) -> int:
                         help="fault-plan spec for experiments that accept one "
                              "(e.g. 'crash:node=1,at=5e-5;loss:prob=0.01')")
     parser.add_argument("--out", help="also write the report to this file")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a Chrome trace-event / Perfetto JSON of "
+                             "every simulated program the experiments run")
+    parser.add_argument("--report-breakdown", action="store_true",
+                        help="append the critical-path time attribution "
+                             "(compute/network/barrier/steal) and the "
+                             "communication matrix to each report")
     args = parser.parse_args(argv)
+
+    # `run` compat: accept `python -m repro.harness run f4_2` like the
+    # docs' short form `python -m repro.harness f4_2`.
+    if args.experiments and args.experiments[0] == "run":
+        args.experiments = args.experiments[1:]
 
     if args.list:
         for eid in EXPERIMENTS.ids():
@@ -44,13 +58,18 @@ def main(argv=None) -> int:
     ids = EXPERIMENTS.ids() if args.all else args.experiments
     if not ids:
         parser.error("no experiments given (use ids, --all, or --list)")
+    if args.trace and len(ids) > 1:
+        parser.error("--trace takes exactly one experiment (one trace file)")
 
     chunks = []
     ok = True
     for eid in ids:
         t0 = time.time()
         try:
-            result = run_experiment(eid, scale=args.scale, faults=args.faults)
+            result = run_experiment(
+                eid, scale=args.scale, faults=args.faults,
+                trace_path=args.trace, breakdown=args.report_breakdown,
+            )
         except FaultError as exc:
             parser.error(f"--faults: {exc}")
         except ValueError as exc:
@@ -63,6 +82,8 @@ def main(argv=None) -> int:
         print(chunk)
         ok = ok and result.shape_ok
     report = "\n".join(chunks)
+    if args.trace:
+        print(f"trace written to {args.trace}")
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report)

@@ -62,6 +62,12 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
     paper_values: List[str] = field(default_factory=list)
     shape_failures: List[str] = field(default_factory=list)
+    #: critical-path time attribution (``--report-breakdown``): rows of
+    #: {category, seconds, share}, categories summing to the total row.
+    breakdown: List[Dict] = field(default_factory=list)
+    #: traced communication matrix: rows of {src_node, dst_node,
+    #: messages, bytes}, aggregated over every run in the experiment.
+    comm_matrix: List[Dict] = field(default_factory=list)
 
     @property
     def shape_ok(self) -> bool:
@@ -73,6 +79,15 @@ class ExperimentResult:
             parts += [format_table(self.rows), ""]
         if self.series:
             parts += [format_series(self.series, self.x_label), ""]
+        if self.breakdown:
+            rows = [
+                {**r, "share": f"{100 * r['share']:.1f}%"} for r in self.breakdown
+            ]
+            parts += ["Simulated-time breakdown (critical path):",
+                      format_table(rows), ""]
+        if self.comm_matrix:
+            parts += ["Communication matrix (src node -> dst node):",
+                      format_table(self.comm_matrix), ""]
         if self.paper_values:
             parts.append("Paper reported:")
             parts += [f"  - {p}" for p in self.paper_values]

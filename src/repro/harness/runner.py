@@ -78,11 +78,39 @@ def get_experiment(experiment_id: str) -> Experiment:
 
 
 def run_experiment(
-    experiment_id: str, scale: str = "quick", faults=None
+    experiment_id: str,
+    scale: str = "quick",
+    faults=None,
+    trace_path=None,
+    breakdown: bool = False,
 ) -> ExperimentResult:
+    """Run one experiment; optionally trace it.
+
+    ``trace_path`` writes a Chrome trace-event JSON covering every
+    simulated program the experiment ran; ``breakdown`` attaches the
+    critical-path time attribution and communication matrix to the
+    result (rendered by :meth:`ExperimentResult.render`).  Both default
+    off, in which case no tracer is attached and the simulation runs at
+    full speed.
+    """
     exp = get_experiment(experiment_id)
     if faults and not exp.accepts_faults:
         raise ValueError(
             f"experiment {experiment_id!r} does not accept a --faults spec"
         )
-    return exp(scale, faults=faults)
+    if not trace_path and not breakdown:
+        return exp(scale, faults=faults)
+
+    from repro.obs.critical_path import breakdown_rows, comm_matrix_rows
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.session import trace_session
+
+    with trace_session(experiment_id) as session:
+        result = exp(scale, faults=faults)
+    if trace_path:
+        write_chrome_trace(trace_path, session.tracers)
+        result.notes.append(f"trace written ({len(session.tracers)} runs)")
+    if breakdown:
+        result.breakdown = breakdown_rows(session.tracers)
+        result.comm_matrix = comm_matrix_rows(session.tracers)
+    return result

@@ -25,6 +25,9 @@ from repro.machine.affinity import assign_ranks_to_nodes, subthread_pus
 from repro.machine.memory import MemorySystem
 from repro.machine.presets import PlatformPreset, generic_smp
 from repro.network.conduits import conduit as lookup_conduit
+from repro.obs import names
+from repro.obs.session import tracer_for
+from repro.obs.tracer import thread_track
 from repro.sim import Event, Simulator, StatsCollector, Store
 from repro.upc.runtime import ProgramResult
 
@@ -76,6 +79,13 @@ class MpiProgram:
         self.ranks = ranks
         self.params = params or MpiParams()
         self.sim = Simulator()
+        # Attach the tracer before any stack layer is built so fabric and
+        # runtime construction can declare their tracks (no-op when no
+        # trace session is active).
+        self.sim.tracer = tracer_for(self.sim, label=f"mpi x{ranks}")
+        if self.sim.tracer.enabled:
+            for r in range(ranks):
+                self.sim.tracer.declare_track(thread_track(r))
         self.topo = self.preset.topology()
         self.stats = StatsCollector(self.sim)
         self.mem = MemorySystem(self.sim, self.topo, self.preset.memory)
@@ -132,10 +142,20 @@ class MpiProgram:
             for r in range(self.ranks)
         ]
         self.sim.run()
+        if self.sim.tracer.enabled:
+            # Close still-open spans so the trace is complete even when
+            # the checks below raise.
+            self.sim.tracer.finalize(self.sim.now)
         self.sim.raise_failures()
         unfinished = [p.name for p in procs if not p.done]
         if unfinished:
             raise MpiError(f"deadlock: ranks never finished: {unfinished[:8]}")
+        leaked = self.stats.open_timers()
+        if leaked:
+            raise MpiError(
+                "phase timers still open at end of run — their elapsed "
+                f"time was never recorded: {leaked!r}"
+            )
         return ProgramResult(
             elapsed=self.sim.now,
             returns=[p.result for p in procs],
@@ -180,7 +200,7 @@ class MpiRank:
         if not 0 <= dst < self.size:
             raise MpiError(f"send to invalid rank {dst}")
         p = self.program.params
-        self.stats.count("mpi.sends")
+        self.stats.count(names.MPI_SENDS)
         eager = nbytes <= p.eager_threshold
         msg = _Message(self.sim, self.rank, tag, nbytes, eager)
         yield self.mem.compute(self.pu, p.send_overhead)
@@ -205,7 +225,7 @@ class MpiRank:
         if not 0 <= src < self.size:
             raise MpiError(f"recv from invalid rank {src}")
         p = self.program.params
-        self.stats.count("mpi.recvs")
+        self.stats.count(names.MPI_RECVS)
         msg = yield self.program.match_queue(self.rank, src, tag).get()
         yield self.mem.compute(self.pu, p.match_overhead)
         if not msg.eager:

@@ -23,6 +23,8 @@ from typing import Dict, Generator, Optional
 from repro.errors import MessageCorruptedError, NetworkError
 from repro.machine.topology import MachineTopology
 from repro.network.model import NetworkParams
+from repro.obs import names
+from repro.obs.tracer import link_track, node_track
 from repro.sim import Resource, SharedBandwidth, Simulator, StatsCollector
 
 __all__ = ["Connection", "Endpoint", "Fabric"]
@@ -97,6 +99,10 @@ class Fabric:
         self._endpoints: Dict[int, Endpoint] = {}
         #: Optional :class:`~repro.faults.FaultInjector`; None = reliable.
         self.injector = None
+        tracer = sim.tracer
+        if tracer.enabled:
+            for pipe in (*self.nic_tx, *self.nic_rx, *self.loopback):
+                tracer.declare_track(link_track(pipe.name))
 
     # -- fault injection --------------------------------------------------
 
@@ -121,6 +127,12 @@ class Fabric:
         for pipe in (self.nic_tx[node_index], self.nic_rx[node_index]):
             pipe._advance()
             pipe._reschedule()
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                node_track(node_index), "nic repriced", names.CAT_FAULT,
+                args={"factor": self.degrade_factor(node_index)},
+            )
 
     def _message_fate(self, src: Endpoint, dst: Endpoint) -> str:
         if self.injector is None:
@@ -129,7 +141,7 @@ class Fabric:
 
     def _black_hole(self) -> Generator:
         """A transfer that never completes (the caller must time out)."""
-        self.stats.count("net.messages_lost")
+        self.stats.count(names.NET_MESSAGES_LOST)
         yield self.sim.event()  # never fires; reliable layers kill us
 
     # -- registration ----------------------------------------------------
@@ -205,8 +217,10 @@ class Fabric:
         src = self.endpoint(src_id)
         dst = self.endpoint(dst_id)
         p = self.params
-        self.stats.count("net.messages")
-        self.stats.add("net.bytes", nbytes)
+        self.stats.count(names.NET_MESSAGES)
+        self.stats.add(names.NET_BYTES, nbytes)
+        if self.sim.tracer.enabled:
+            self.sim.tracer.comm(src.node_index, dst.node_index, nbytes)
 
         # Injection: serialized on the (possibly shared) connection.  The
         # wire leg runs concurrently — packets pipeline — so delivery
@@ -244,24 +258,54 @@ class Fabric:
             # PSHM), so it competes with inter-node traffic on the NIC
             # pipes — which is exactly why Fig 3.4's PSHM gains grow with
             # thread density.
-            self.stats.count("net.loopback_messages")
+            self.stats.count(names.NET_LOOPBACK_MESSAGES)
             yield self.sim.delay(p.loopback_latency)
             node = src.node_index
-            yield self.sim.all_of(
-                [
-                    self.loopback[node].transfer(nbytes),
-                    self.nic_tx[node].transfer(nbytes),
-                    self.nic_rx[node].transfer(nbytes),
-                ]
+            yield from self._drain(
+                (self.loopback[node], self.nic_tx[node], self.nic_rx[node]),
+                nbytes, "loop", src.endpoint_id, dst.endpoint_id,
             )
             return
         yield self.sim.delay(p.latency)
-        yield self.sim.all_of(
-            [
-                self.nic_tx[src.node_index].transfer(nbytes),
-                self.nic_rx[dst.node_index].transfer(nbytes),
-            ]
+        yield from self._drain(
+            (self.nic_tx[src.node_index], self.nic_rx[dst.node_index]),
+            nbytes, "xfer", src.endpoint_id, dst.endpoint_id,
         )
+
+    def _drain(self, pipes, nbytes: float, kind: str, a: int, b: int) -> Generator:
+        """Drain ``nbytes`` through every pipe, tracing one span per link.
+
+        The span label is built lazily from ``kind`` and the endpoint ids
+        ``a``/``b`` so the untraced path never formats strings.  Spans
+        cover the drain (not the preceding wire latency) and carry the
+        pipe's in-flight transfer count at entry, so the per-link lanes
+        in a trace show NIC contention directly.  A drain aborted by a
+        timeout kill leaves its spans open; ``Tracer.finalize`` closes
+        them at end of run, which is the honest rendering of a transfer
+        that never finished.
+        """
+        tracer = self.sim.tracer
+        if not tracer.enabled:
+            yield self.sim.all_of([pipe.transfer(nbytes) for pipe in pipes])
+            return
+        arrow = "<-" if kind in ("read", "loopread") else "->"
+        label = f"{kind} {a}{arrow}{b}"
+        span_ids = [
+            tracer.begin(
+                link_track(pipe.name), label, names.CAT_NETWORK,
+                args={"bytes": nbytes,
+                      "inflight": pipe.active_transfers + 1},
+            )
+            for pipe in pipes
+        ]
+        for pipe in pipes:
+            tracer.counter(link_track(pipe.name), "inflight",
+                           pipe.active_transfers + 1)
+        yield self.sim.all_of([pipe.transfer(nbytes) for pipe in pipes])
+        for pipe, span_id in zip(pipes, span_ids):
+            tracer.end(span_id)
+            tracer.counter(link_track(pipe.name), "inflight",
+                           pipe.active_transfers)
 
     def fetch(self, initiator_id: int, target_id: int, nbytes: float) -> Generator:
         """Simulated generator: RDMA-read ``nbytes`` from ``target_id``.
@@ -276,8 +320,11 @@ class Fabric:
         ini = self.endpoint(initiator_id)
         tgt = self.endpoint(target_id)
         p = self.params
-        self.stats.count("net.messages")
-        self.stats.add("net.bytes", nbytes)
+        self.stats.count(names.NET_MESSAGES)
+        self.stats.add(names.NET_BYTES, nbytes)
+        if self.sim.tracer.enabled:
+            # data flows target -> initiator in a read
+            self.sim.tracer.comm(tgt.node_index, ini.node_index, nbytes)
 
         conn = ini.connection
         yield conn.injector.acquire()
@@ -305,25 +352,20 @@ class Fabric:
     def _fetch_wire_leg(self, ini: Endpoint, tgt: Endpoint, nbytes: float) -> Generator:
         p = self.params
         if ini.node_index == tgt.node_index:
-            self.stats.count("net.loopback_messages")
+            self.stats.count(names.NET_LOOPBACK_MESSAGES)
             yield self.sim.delay(p.loopback_latency)
             node = ini.node_index
-            yield self.sim.all_of(
-                [
-                    self.loopback[node].transfer(nbytes),
-                    self.nic_tx[node].transfer(nbytes),
-                    self.nic_rx[node].transfer(nbytes),
-                ]
+            yield from self._drain(
+                (self.loopback[node], self.nic_tx[node], self.nic_rx[node]),
+                nbytes, "loopread", ini.endpoint_id, tgt.endpoint_id,
             )
             return
         # Request flight + response flight: a read pays the wire twice
         # before data starts arriving.
         yield self.sim.delay(2 * p.latency)
-        yield self.sim.all_of(
-            [
-                self.nic_tx[tgt.node_index].transfer(nbytes),
-                self.nic_rx[ini.node_index].transfer(nbytes),
-            ]
+        yield from self._drain(
+            (self.nic_tx[tgt.node_index], self.nic_rx[ini.node_index]),
+            nbytes, "read", ini.endpoint_id, tgt.endpoint_id,
         )
 
     def analytic_message_time(self, src_id: int, dst_id: int, nbytes: float) -> float:

@@ -1,0 +1,59 @@
+"""Observability for the simulated stack: tracing, export, attribution.
+
+The pieces:
+
+* :mod:`repro.obs.names` — the metric-name and span-category registry.
+* :mod:`repro.obs.tracer` — :class:`Tracer` / :data:`NULL_TRACER`,
+  recording simulated-time spans, instants and counter samples.
+* :mod:`repro.obs.session` — :func:`trace_session` arms tracing for a
+  region of host code; programs pick up a tracer via :func:`tracer_for`.
+* :mod:`repro.obs.export` — Chrome trace-event / Perfetto JSON export.
+* :mod:`repro.obs.critical_path` — attribution of end-to-end simulated
+  time to compute/network/barrier/steal, plus comm-matrix and per-link
+  utilization reports.
+* :mod:`repro.obs.validate` — trace-event schema checks for tests/CI.
+
+Everything here is stdlib-only: :mod:`repro.sim.engine` imports
+:data:`NULL_TRACER` at module load, so this package must never import
+simulation layers at import time (tracers receive the simulator by
+argument instead).
+"""
+
+from repro.obs import names
+from repro.obs.critical_path import (
+    attribute_run,
+    breakdown_rows,
+    comm_matrix_rows,
+    link_utilization_rows,
+)
+from repro.obs.export import (
+    chrome_trace_events,
+    dump_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.session import (
+    TraceSession,
+    active_session,
+    trace_session,
+    tracer_for,
+)
+from repro.obs.tracer import (
+    META_TRACK,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    link_track,
+    node_track,
+    thread_track,
+)
+
+__all__ = [
+    "names",
+    "Tracer", "NullTracer", "NULL_TRACER", "Span",
+    "thread_track", "link_track", "node_track", "META_TRACK",
+    "TraceSession", "trace_session", "tracer_for", "active_session",
+    "chrome_trace_events", "dump_chrome_trace", "write_chrome_trace",
+    "attribute_run", "breakdown_rows", "comm_matrix_rows",
+    "link_utilization_rows",
+]

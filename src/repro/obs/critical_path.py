@@ -1,0 +1,231 @@
+"""Critical-path attribution and derived communication reports.
+
+:func:`attribute_run` answers "where did the end-to-end simulated time
+go?" for one traced run.  It walks **backward** along the critical path
+from the run's end: at every instant some thread is "responsible" for
+progress; the walk charges that instant to the highest-priority span
+category active on the responsible thread (steal > barrier > network,
+compute as the catch-all — see :data:`repro.obs.names.CATEGORY_PRIORITY`).
+
+Barrier spans carry a ``releaser`` argument (the last thread to arrive);
+while walking through a barrier wait the responsibility *jumps* to the
+releaser's track, so time spent waiting on a straggler is charged to
+whatever the straggler was doing rather than blamed on the barrier.
+A barrier wait with no releaser information — or one whose jump would
+revisit a track at the same timestamp — is charged as ``barrier``.
+
+The walk partitions ``[0, T]`` exactly, so the per-category totals sum
+to the run's simulated time by construction (the harness's
+``--report-breakdown`` promises agreement within 1%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import names
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "attribute_run",
+    "breakdown_rows",
+    "comm_matrix_rows",
+    "link_utilization_rows",
+]
+
+#: Walk resolution guard: intervals shorter than this are absorbed.
+_EPS = 1e-15
+
+
+class _Segment:
+    __slots__ = ("t0", "t1", "category", "releaser")
+
+    def __init__(self, t0: float, t1: float, category: str,
+                 releaser: Optional[int]):
+        self.t0 = t0
+        self.t1 = t1
+        self.category = category
+        self.releaser = releaser
+
+
+def _timeline(spans, t_end: float) -> List[_Segment]:
+    """Partition ``[0, t_end]`` into category segments for one track.
+
+    At each instant the active category is the highest-priority
+    attributed span covering it (``compute`` when none); barrier
+    segments remember the releaser of the innermost active barrier.
+    """
+    events: List[Tuple[float, int, int, object]] = []
+    for idx, s in enumerate(spans):
+        if s.category not in names.CATEGORY_PRIORITY:
+            continue  # phase/lock/fault spans are transparent here
+        t0 = max(0.0, s.t0)
+        t1 = min(t_end, s.t1 if s.t1 is not None else t_end)
+        if t1 <= t0 + _EPS:
+            continue
+        events.append((t0, 1, idx, s))
+        events.append((t1, 0, idx, s))
+    if not events:
+        return [_Segment(0.0, t_end, names.CAT_COMPUTE, None)]
+    events.sort(key=lambda e: (e[0], e[1], e[2]))
+
+    segments: List[_Segment] = []
+    counts = {c: 0 for c in names.ATTRIBUTED_CATEGORIES}
+    barrier_stack: List[object] = []
+    prev = 0.0
+
+    def flush(upto: float) -> None:
+        nonlocal prev
+        if upto <= prev + _EPS:
+            prev = max(prev, upto)
+            return
+        category = names.CAT_COMPUTE
+        for cat in reversed(names.ATTRIBUTED_CATEGORIES):  # high prio first
+            if counts[cat]:
+                category = cat
+                break
+        releaser = None
+        if category == names.CAT_BARRIER and barrier_stack:
+            args = barrier_stack[-1].args or {}
+            releaser = args.get("releaser")
+        segments.append(_Segment(prev, upto, category, releaser))
+        prev = upto
+
+    for t, kind, _idx, span in events:
+        flush(t)
+        if kind == 1:
+            counts[span.category] += 1
+            if span.category == names.CAT_BARRIER:
+                barrier_stack.append(span)
+        else:
+            counts[span.category] -= 1
+            if span.category == names.CAT_BARRIER:
+                barrier_stack.remove(span)
+    flush(t_end)
+    return segments
+
+
+def _segment_at(segments: List[_Segment], t: float) -> _Segment:
+    """The segment containing the instant just before ``t`` (t0 < t <= t1)."""
+    lo, hi = 0, len(segments) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if segments[mid].t1 < t - _EPS:
+            lo = mid + 1
+        else:
+            hi = mid
+    return segments[lo]
+
+
+def attribute_run(tracer: Tracer) -> Dict[str, float]:
+    """Charge the run's ``[0, T]`` to the four breakdown categories."""
+    totals = {c: 0.0 for c in names.BREAKDOWN_CATEGORIES}
+    t_end = tracer.end_time
+    if t_end <= 0.0:
+        return totals
+
+    timelines = {
+        track[1]: _timeline(tracer.spans_on(track), t_end)
+        for track in tracer.thread_tracks()
+    }
+    if not timelines:
+        totals[names.CAT_COMPUTE] = t_end
+        return totals
+
+    # start on the thread active latest (ties: lowest thread id)
+    def last_busy(tid: int) -> float:
+        segs = timelines[tid]
+        for seg in reversed(segs):
+            if seg.category != names.CAT_COMPUTE:
+                return seg.t1
+        return 0.0
+
+    current = max(sorted(timelines), key=last_busy)
+    t = t_end
+    visited_here: set = set()  # tracks visited at the current timestamp
+    while t > _EPS:
+        seg = _segment_at(timelines[current], t)
+        releaser = seg.releaser
+        if (seg.category == names.CAT_BARRIER
+                and releaser is not None
+                and releaser != current
+                and releaser in timelines
+                and releaser not in visited_here):
+            visited_here.add(current)
+            current = releaser
+            continue
+        lo = max(seg.t0, 0.0)
+        totals[seg.category] += t - lo
+        t = lo
+        visited_here.clear()
+    return totals
+
+
+def breakdown_rows(tracers) -> List[dict]:
+    """Aggregate per-category attribution across runs into report rows."""
+    totals = {c: 0.0 for c in names.BREAKDOWN_CATEGORIES}
+    grand = 0.0
+    for tracer in tracers:
+        per_run = attribute_run(tracer)
+        for cat, sec in per_run.items():
+            totals[cat] += sec
+        grand += tracer.end_time
+    rows = []
+    for cat in names.BREAKDOWN_CATEGORIES:
+        rows.append({
+            "category": cat,
+            "seconds": totals[cat],
+            "share": (totals[cat] / grand) if grand > 0 else 0.0,
+        })
+    rows.append({"category": "total", "seconds": grand, "share": 1.0 if grand > 0 else 0.0})
+    return rows
+
+
+def comm_matrix_rows(tracers) -> List[dict]:
+    """Merge per-run src→dst communication matrices across runs."""
+    merged: Dict[Tuple[int, int], List[float]] = {}
+    for tracer in tracers:
+        for row in tracer.comm_matrix():
+            cell = merged.setdefault((row["src_node"], row["dst_node"]), [0, 0.0])
+            cell[0] += row["messages"]
+            cell[1] += row["bytes"]
+    return [
+        {"src_node": s, "dst_node": d,
+         "messages": int(merged[(s, d)][0]), "bytes": merged[(s, d)][1]}
+        for (s, d) in sorted(merged)
+    ]
+
+
+def _union_length(intervals: List[Tuple[float, float]]) -> float:
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    total = 0.0
+    cur_lo, cur_hi = intervals[0]
+    for lo, hi in intervals[1:]:
+        if lo > cur_hi:
+            total += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+        else:
+            cur_hi = max(cur_hi, hi)
+    total += cur_hi - cur_lo
+    return total
+
+
+def link_utilization_rows(tracers) -> List[dict]:
+    """Per-link busy time and utilization (union of transfer spans / T)."""
+    busy: Dict[str, float] = {}
+    span_time: Dict[str, float] = {}
+    for tracer in tracers:
+        t_end = tracer.end_time
+        for track in tracer.link_tracks():
+            name = track[1]
+            intervals = [(s.t0, s.t1 if s.t1 is not None else t_end)
+                         for s in tracer.spans_on(track)]
+            busy[name] = busy.get(name, 0.0) + _union_length(intervals)
+            span_time[name] = span_time.get(name, 0.0) + t_end
+    return [
+        {"link": name, "busy_seconds": busy[name],
+         "utilization": busy[name] / span_time[name] if span_time[name] > 0 else 0.0}
+        for name in sorted(busy)
+    ]

@@ -1,0 +1,138 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Produces the `trace-event format`__ consumed by ``ui.perfetto.dev`` and
+``chrome://tracing``: one *process* per simulated run (a harness
+experiment may run many programs), one *thread track* per declared
+tracer track — simulated UPC threads, NIC pipes, machine nodes.
+
+__ https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+Overlap handling: complete ("X") events on one tid must nest, but link
+transfers (processor sharing) and non-blocking puts legitimately
+overlap.  The exporter assigns overlapping spans to extra **lanes** —
+additional tids named ``"<track> ~2"``, ``"~3"`` … — with a greedy,
+deterministic first-fit, so every span renders and same-seed exports
+stay byte-identical.
+
+Times are simulated seconds; the trace-event ``ts``/``dur`` fields are
+microseconds, so one simulated microsecond reads as one trace
+microsecond in the UI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from repro.obs.tracer import Tracer
+
+__all__ = ["chrome_trace_events", "dump_chrome_trace", "write_chrome_trace"]
+
+_US = 1e6  # simulated seconds -> trace-event microseconds
+
+
+def _assign_lanes(spans) -> List[int]:
+    """Greedy deterministic lane assignment for one track's spans.
+
+    Returns a lane index per span (aligned with ``spans`` order).  A span
+    fits an existing lane if the lane's open spans either all end before
+    it starts or enclose it entirely (proper "X" nesting); otherwise it
+    opens the next lane.
+    """
+    order = sorted(range(len(spans)),
+                   key=lambda i: (spans[i].t0, -spans[i].t1, spans[i].seq))
+    lanes: List[List[float]] = []  # per lane: stack of open end-times
+    out = [0] * len(spans)
+    for i in order:
+        s = spans[i]
+        for lane, stack in enumerate(lanes):
+            while stack and stack[-1] <= s.t0:
+                stack.pop()
+            if not stack or stack[-1] >= s.t1:
+                stack.append(s.t1)
+                out[i] = lane
+                break
+        else:
+            lanes.append([s.t1])
+            out[i] = len(lanes) - 1
+    return out
+
+
+def chrome_trace_events(tracers: Iterable[Tracer]) -> List[dict]:
+    """Flatten tracers into a list of trace-event dicts.
+
+    Each tracer becomes one process (``pid`` = its run index); events
+    appear in deterministic (track-declaration, emission) order.
+    """
+    events: List[dict] = []
+    for tracer in tracers:
+        pid = tracer.run_index
+        events.append({"ph": "M", "pid": pid, "name": "process_name",
+                       "args": {"name": tracer.label}})
+        events.append({"ph": "M", "pid": pid, "name": "process_sort_index",
+                       "args": {"sort_index": pid}})
+
+        # spans per track, then lanes -> tid layout
+        by_track: Dict[Tuple, list] = {}
+        for span in tracer.spans:
+            by_track.setdefault(span.track, []).append(span)
+        lane_of = {track: _assign_lanes(spans)
+                   for track, spans in by_track.items()}
+        lane_count = {track: max(lanes, default=0) + 1 if lanes else 1
+                      for track, lanes in lane_of.items()}
+
+        tid_of: Dict[Tuple[Tuple, int], int] = {}
+        next_tid = 1
+        for sort_index, (track, name) in enumerate(tracer.tracks.items()):
+            for lane in range(lane_count.get(track, 1)):
+                tid = next_tid
+                next_tid += 1
+                tid_of[(track, lane)] = tid
+                lane_name = name if lane == 0 else f"{name} ~{lane + 1}"
+                events.append({"ph": "M", "pid": pid, "tid": tid,
+                               "name": "thread_name",
+                               "args": {"name": lane_name}})
+                events.append({"ph": "M", "pid": pid, "tid": tid,
+                               "name": "thread_sort_index",
+                               "args": {"sort_index": sort_index * 64 + lane}})
+
+        for track, spans in by_track.items():
+            lanes = lane_of[track]
+            for span, lane in zip(spans, lanes):
+                ev = {"ph": "X", "pid": pid, "tid": tid_of[(track, lane)],
+                      "name": span.name, "cat": span.category,
+                      "ts": span.t0 * _US,
+                      "dur": (span.t1 - span.t0) * _US}
+                if span.args:
+                    ev["args"] = span.args
+                events.append(ev)
+
+        for inst in tracer.instants:
+            ev = {"ph": "i", "s": "t", "pid": pid,
+                  "tid": tid_of.get((inst.track, 0), 0),
+                  "name": inst.name, "cat": inst.category,
+                  "ts": inst.t * _US}
+            if inst.args:
+                ev["args"] = inst.args
+            events.append(ev)
+
+        for sample in tracer.samples:
+            track_name = tracer.tracks[sample.track]
+            events.append({"ph": "C", "pid": pid,
+                           "name": f"{track_name} {sample.name}",
+                           "ts": sample.t * _US,
+                           "args": {"value": sample.value}})
+    return events
+
+
+def dump_chrome_trace(tracers: Iterable[Tracer]) -> str:
+    """Serialize tracers as a trace-event JSON document (deterministic)."""
+    doc = {"traceEvents": chrome_trace_events(tracers),
+           "displayTimeUnit": "ms"}
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(path: str, tracers: Iterable[Tracer]) -> None:
+    with open(path, "w") as fh:
+        fh.write(dump_chrome_trace(tracers))
+        fh.write("\n")

@@ -1,0 +1,68 @@
+"""Trace sessions: turning tracing on for a region of host code.
+
+Tracing is off by default; a :func:`trace_session` context manager arms
+it.  While a session is active, every :class:`~repro.upc.runtime.UpcProgram`
+(or :class:`~repro.mpi.comm.MpiProgram`) constructed asks the session for
+a fresh :class:`~repro.obs.tracer.Tracer` via :func:`tracer_for` and
+attaches it to its simulator; outside a session :func:`tracer_for`
+returns the shared no-op :data:`~repro.obs.tracer.NULL_TRACER`.
+
+One session can therefore span many simulated runs (a harness experiment
+like ``f4_2`` constructs ~30 programs); each run becomes its own process
+group in the exported trace.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+__all__ = ["TraceSession", "trace_session", "tracer_for", "active_session"]
+
+#: The module-global active session (None when tracing is off).
+_ACTIVE: Optional["TraceSession"] = None
+
+
+class TraceSession:
+    """Collects the tracers of every simulated run started while active."""
+
+    def __init__(self, label: str = "session"):
+        self.label = label
+        self.tracers: List[Tracer] = []
+
+    def new_tracer(self, sim, label: str) -> Tracer:
+        tracer = Tracer(sim, label=label, run_index=len(self.tracers) + 1)
+        self.tracers.append(tracer)
+        return tracer
+
+
+def active_session() -> Optional[TraceSession]:
+    return _ACTIVE
+
+
+def tracer_for(sim, label: str = "run"):
+    """A fresh Tracer when a session is active, else the no-op tracer."""
+    if _ACTIVE is None:
+        return NULL_TRACER
+    return _ACTIVE.new_tracer(sim, label)
+
+
+@contextmanager
+def trace_session(label: str = "session"):
+    """Arm tracing for the ``with`` body; yields the :class:`TraceSession`.
+
+    Sessions do not nest: re-entering while one is active raises, because
+    two sessions silently splitting a run's tracers would be a debugging
+    trap.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a trace session is already active")
+    session = TraceSession(label)
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        _ACTIVE = None

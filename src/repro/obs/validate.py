@@ -1,0 +1,89 @@
+"""Trace-event JSON validation (stdlib-only; used by tests and CI).
+
+Checks the subset of the Chrome trace-event format this repo emits:
+a ``{"traceEvents": [...]}`` document whose events are well-formed
+``X`` / ``i`` / ``C`` / ``M`` records with numeric timestamps.  Run as::
+
+    PYTHONPATH=src python -m repro.obs.validate out.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+__all__ = ["validate_events", "validate_document", "validate_file"]
+
+_REQUIRED = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "i": ("name", "ts", "pid"),
+    "C": ("name", "ts", "pid", "args"),
+    "M": ("name", "pid", "args"),
+}
+
+
+def validate_events(events) -> List[str]:
+    """Return a list of problems (empty when the events are valid)."""
+    problems: List[str] = []
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _REQUIRED:
+            problems.append(f"event {i}: unknown ph {ph!r}")
+            continue
+        for field in _REQUIRED[ph]:
+            if field not in ev:
+                problems.append(f"event {i} (ph={ph}): missing {field!r}")
+        for field in ("ts", "dur"):
+            if field in ev and not isinstance(ev[field], (int, float)):
+                problems.append(f"event {i}: {field} is not numeric")
+        if ph == "X" and isinstance(ev.get("dur"), (int, float)) and ev["dur"] < 0:
+            problems.append(f"event {i}: negative dur")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            problems.append(f"event {i}: args is not an object")
+        if len(problems) > 50:
+            problems.append("... (truncated)")
+            break
+    return problems
+
+
+def validate_document(doc) -> List[str]:
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["document is not an object with a traceEvents key"]
+    return validate_events(doc["traceEvents"])
+
+
+def validate_file(path: str) -> List[str]:
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    return validate_document(doc)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.validate TRACE.json", file=sys.stderr)
+        return 2
+    problems = validate_file(argv[0])
+    if problems:
+        for p in problems:
+            print(f"INVALID: {p}", file=sys.stderr)
+        return 1
+    with open(argv[0]) as fh:
+        n = len(json.load(fh)["traceEvents"])
+    print(f"{argv[0]}: valid trace ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs.tracer import NULL_TRACER
+
 __all__ = [
     "Awaitable",
     "Event",
@@ -199,6 +201,8 @@ class Process(Awaitable):
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Optional[Awaitable] = None
         sim._register_process(self)
+        if sim.tracer.enabled:
+            sim.tracer.process_spawned(self)
         sim.schedule_after(0.0, self._step, None, None)
 
     @property
@@ -242,11 +246,15 @@ class Process(Awaitable):
                 "Awaitable or a number of seconds"
             )
         self._waiting_on = target
+        if self.sim.tracer.enabled:
+            self.sim.tracer.process_blocked(self, target)
         target.add_callback(self._resume)
 
     def _resume(self, awaited: Awaitable) -> None:
         if self._done or self._cancelled:
             return
+        if self.sim.tracer.enabled:
+            self.sim.tracer.process_resumed(self)
         if awaited.exc is not None:
             if isinstance(awaited, Process):
                 exc: BaseException = ProcessFailure(awaited, awaited.exc)
@@ -262,6 +270,8 @@ class Process(Awaitable):
             return
         if self._waiting_on is not None:
             self._waiting_on.cancel()
+        if self.sim.tracer.enabled:
+            self.sim.tracer.process_killed(self)
         self.gen.close()
         self._complete(value=None)
 
@@ -339,6 +349,10 @@ class Simulator:
         self._processes: list[Process] = []
         #: Set to a callable to be notified of unhandled process failures.
         self.failure_hook: Optional[Callable[[Process, BaseException], None]] = None
+        #: Observability sink; defaults to the shared no-op tracer so hook
+        #: sites can stay unconditional (`if self.tracer.enabled:` guards
+        #: the hot paths).
+        self.tracer = NULL_TRACER
 
     # -- scheduling --------------------------------------------------
 
@@ -420,6 +434,8 @@ class Simulator:
 
     def _record_failure(self, process: Process, exc: BaseException) -> None:
         self.failures.append((process, exc))
+        if self.tracer.enabled:
+            self.tracer.process_failed(process, exc)
         if self.failure_hook is not None:
             self.failure_hook(process, exc)
 
@@ -461,4 +477,6 @@ class Simulator:
         if check_stalled and not self._heap:
             stalled = self.stalled_processes()
             if stalled:
+                if self.tracer.enabled:
+                    self.tracer.quiescence(stalled)
                 raise StalledProcessError(stalled)

@@ -67,6 +67,11 @@ class SimBarrier:
         # Statistics: cumulative time processes spent blocked in the barrier.
         self.total_wait_time = 0.0
         self.crossings = 0
+        #: Party whose arrival completed the most recent generation (None
+        #: when a :meth:`drop_party` released it, or before any release).
+        #: Observability reads this to attribute barrier waits to the
+        #: straggler that ended them.
+        self.last_arriver: Any = None
 
     @property
     def generation(self) -> int:
@@ -89,6 +94,7 @@ class SimBarrier:
             self._arrived_parties.add(party)
         release = self._release
         if self._arrived == self.parties:
+            self.last_arriver = party
             completed = self._release_generation()
             done = Event(self.sim)
             done.succeed(completed)
@@ -122,6 +128,7 @@ class SimBarrier:
             if self._arrival_times:
                 self._arrival_times.pop()
         if self._arrived == self.parties:
+            self.last_arriver = None  # released by a death, not an arrival
             self._release_generation()
 
     def _release_generation(self) -> int:

@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional
 
+from repro.obs import names as metric_names
+from repro.obs.tracer import META_TRACK, thread_track
 from repro.sim.engine import Simulator
 
 __all__ = ["StatsCollector", "PhaseTimer", "summarize"]
@@ -54,6 +56,7 @@ class StatsCollector:
         self.series: Dict[str, List[float]] = {}
         self.timers: Dict[tuple, float] = {}
         self._open_timers: Dict[tuple, float] = {}
+        self._open_spans: Dict[tuple, int] = {}
 
     # -- counters -----------------------------------------------------
 
@@ -87,6 +90,12 @@ class StatsCollector:
         if tk in self._open_timers:
             raise ValueError(f"timer {tk!r} already open")
         self._open_timers[tk] = self.sim.now
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            track = thread_track(key) if isinstance(key, int) else META_TRACK
+            self._open_spans[tk] = tracer.begin(
+                track, name, metric_names.CAT_PHASE
+            )
 
     def timer_exit(self, name: str, key=None) -> float:
         tk = (name, key)
@@ -95,7 +104,19 @@ class StatsCollector:
             raise ValueError(f"timer {tk!r} was not opened")
         elapsed = self.sim.now - start
         self.timers[tk] = self.timers.get(tk, 0.0) + elapsed
+        span = self._open_spans.pop(tk, None)
+        if span is not None:
+            self.sim.tracer.end(span)
         return elapsed
+
+    def open_timers(self) -> List[tuple]:
+        """In-flight ``(name, key)`` timer keys, in canonical order.
+
+        A non-empty result at end of run means a phase died without
+        stopping its timer — its elapsed time is missing from
+        :attr:`timers`, so totals read from this collector are wrong.
+        """
+        return sorted(self._open_timers, key=repr)
 
     def timer_total(self, name: str, key=None) -> float:
         """Total time for (name, key); with key=Ellipsis, sum over all keys."""
@@ -117,7 +138,17 @@ class StatsCollector:
         Deterministic (keys sorted, floats via ``repr``) so two runs can
         be compared byte-for-byte — the fault-injection determinism tests
         assert equality of snapshots across seeded runs.
+
+        Raises :class:`ValueError` while timers are still open: their
+        elapsed time is not in :attr:`timers` yet, so a snapshot taken
+        now would silently under-report the leaked phases.
         """
+        leaked = self.open_timers()
+        if leaked:
+            raise ValueError(
+                "snapshot with in-flight phase timers (a phase died "
+                f"without stopping its timer?): {leaked!r}"
+            )
         lines = []
         for k in sorted(self.counters):
             lines.append(f"count {k} {self.counters[k]}")
@@ -130,6 +161,12 @@ class StatsCollector:
         return "\n".join(lines)
 
     def merge(self, other: "StatsCollector") -> None:
+        leaked = other.open_timers()
+        if leaked:
+            raise ValueError(
+                "cannot merge a collector with in-flight timers (their "
+                f"elapsed time would be lost): {leaked!r}"
+            )
         for k, v in other.counters.items():
             self.count(k, v)
         for k, v in other.accumulators.items():

@@ -29,6 +29,9 @@ from repro.machine.memory import MemorySystem
 from repro.machine.presets import PlatformPreset, generic_smp
 from repro.machine.topology import MachineTopology
 from repro.network.conduits import conduit as lookup_conduit
+from repro.obs import names
+from repro.obs.session import tracer_for
+from repro.obs.tracer import thread_track
 from repro.sim import Event, SimBarrier, Simulator, SplittableRNG, StatsCollector
 
 __all__ = ["UpcProgram", "Upc", "ProgramResult", "CollectiveGate"]
@@ -158,6 +161,15 @@ class UpcProgram:
         self.seed = seed
 
         self.sim = Simulator()
+        # Attach the tracer before any stack layer is built so fabric and
+        # runtime construction can declare their tracks (no-op when no
+        # trace session is active).
+        self.sim.tracer = tracer_for(
+            self.sim, label=f"upc {self.backend.label} x{threads}"
+        )
+        if self.sim.tracer.enabled:
+            for t in range(threads):
+                self.sim.tracer.declare_track(thread_track(t))
         self.topo: MachineTopology = self.preset.topology()
         self.stats = StatsCollector(self.sim)
         self.mem = MemorySystem(self.sim, self.topo, self.preset.memory)
@@ -347,20 +359,20 @@ class UpcProgram:
                 proc = self._thread_procs[t]
                 if not proc.done:
                     proc.kill()
-                    self.stats.count("faults.threads_killed")
+                    self.stats.count(names.FAULTS_THREADS_KILLED)
         # Lock recovery: break locks whose holder died so survivors
         # queued at the home are granted instead of waiting forever.
         dead_set = set(dead)
         for lock in self._locks.values():
             if lock.break_dead_holder(dead_set):
-                self.stats.count("faults.locks_recovered")
+                self.stats.count(names.FAULTS_LOCKS_RECOVERED)
         # Barrier recovery: the world barrier and the split-phase pair
         # stop counting the dead, releasing survivors blocked there.
         # (Live threads < 1 means the whole job is gone; nothing to do.)
         alive = self.threads - len(self.dead_threads())
         for t in dead:
             if alive >= 1 and self.world.drop_dead(t):
-                self.stats.count("faults.barrier_seats_dropped")
+                self.stats.count(names.FAULTS_BARRIER_SEATS_DROPPED)
             self.split_barrier.mark_dead(t)
 
     # -- execution ---------------------------------------------------------
@@ -373,6 +385,10 @@ class UpcProgram:
             procs.append(self.sim.spawn(gen, name=f"upc{t}"))
         self._thread_procs = procs
         self.sim.run()
+        if self.sim.tracer.enabled:
+            # Close still-open spans (transfers cut short by kills) so the
+            # trace is complete even when the checks below raise.
+            self.sim.tracer.finalize(self.sim.now)
         self.sim.raise_failures()
         unfinished = [p.name for p in procs if not p.done]
         if unfinished:
@@ -381,6 +397,13 @@ class UpcProgram:
                 f"deadlock: threads never finished: {unfinished[:8]} "
                 f"({len(unfinished)} total); stalled processes: "
                 f"{stalled[:12]} ({len(stalled)} total)"
+            )
+        leaked = self.stats.open_timers()
+        if leaked:
+            raise UpcError(
+                "phase timers still open at end of run — their elapsed "
+                "time was never recorded (a thread died mid-phase?): "
+                f"{leaked!r}"
             )
         return ProgramResult(
             elapsed=self.sim.now,
@@ -472,7 +495,19 @@ class Upc:
     def barrier_wait(self) -> Generator:
         """``upc_wait``: block until every thread has notified this phase."""
         yield self.mem.compute(self.pu, self.program.barrier_cost())
-        yield self.program.split_barrier.wait(self.MYTHREAD)
+        tracer = self.sim.tracer
+        if not tracer.enabled:
+            yield self.program.split_barrier.wait(self.MYTHREAD)
+            return
+        span = tracer.begin(
+            thread_track(self.MYTHREAD), "upc_wait", names.CAT_BARRIER
+        )
+        try:
+            yield self.program.split_barrier.wait(self.MYTHREAD)
+        finally:
+            tracer.end(
+                span, args={"releaser": self.program.split_barrier.last_releaser}
+            )
 
     def lock(self, key: object, affinity_thread: int = 0):
         """Get (creating on first use) the named global lock."""

@@ -17,6 +17,8 @@ from __future__ import annotations
 from typing import Generator, List
 
 from repro.errors import UpcError
+from repro.obs import names
+from repro.obs.tracer import thread_track
 from repro.sim import Event, Resource, Simulator
 
 __all__ = ["UpcLock", "SplitPhaseBarrier"]
@@ -37,6 +39,7 @@ class UpcLock:
         self.affinity_thread = affinity_thread
         self._resource = Resource(program.sim, 1, name=f"upc_lock:{key}")
         self._holder = None
+        self._hold_span = None
         self.contended_acquires = 0
 
     @property
@@ -53,6 +56,11 @@ class UpcLock:
             self.contended_acquires += 1
         yield grant
         self._holder = upc.MYTHREAD
+        tracer = self.program.sim.tracer
+        if tracer.enabled:
+            self._hold_span = tracer.begin(
+                thread_track(upc.MYTHREAD), f"hold {self.key}", names.CAT_LOCK
+            )
 
     def release(self, upc) -> Generator:
         """Simulated generator: ``upc_unlock``."""
@@ -70,6 +78,7 @@ class UpcLock:
             yield from upc.gasnet.am_roundtrip(upc.MYTHREAD, self.affinity_thread)
         finally:
             self._resource.release()
+            self._end_hold_span()
 
     def abandon(self, thread: int) -> bool:
         """Force-release ``thread``'s hold without the unlock AM round.
@@ -82,7 +91,13 @@ class UpcLock:
             return False
         self._holder = None
         self._resource.release()
+        self._end_hold_span()
         return True
+
+    def _end_hold_span(self) -> None:
+        if self._hold_span is not None:
+            self.program.sim.tracer.end(self._hold_span)
+            self._hold_span = None
 
     def break_dead_holder(self, dead_threads: set) -> bool:
         """Crash recovery: force-release when the holder fail-stopped.
@@ -119,6 +134,10 @@ class SplitPhaseBarrier:
         self._dead: set = set()
         #: live participants the phase waits for (parties minus the dead)
         self._required = parties
+        #: Thread whose notify released the most recent phase (None when a
+        #: :meth:`mark_dead` released it).  Read by observability to
+        #: attribute split-phase waits to the straggler.
+        self.last_releaser = None
 
     def notify(self, thread: int) -> None:
         """Non-blocking arrival (``upc_notify``)."""
@@ -129,7 +148,7 @@ class SplitPhaseBarrier:
             )
         self._thread_state[thread] += 1
         self._notified += 1
-        self._maybe_release()
+        self._maybe_release(releaser=thread)
 
     def mark_dead(self, thread: int) -> bool:
         """Fail-stop a participant: phases stop waiting for its notify.
@@ -150,11 +169,12 @@ class SplitPhaseBarrier:
         # a notify for an already-released phase was consumed long ago.
         if state % 2 == 1 and state // 2 == self._phase:
             self._notified -= 1
-        self._maybe_release()
+        self._maybe_release(releaser=None)
         return True
 
-    def _maybe_release(self) -> None:
+    def _maybe_release(self, releaser=None) -> None:
         if self._required > 0 and self._notified == self._required:
+            self.last_releaser = releaser
             release, self._release = self._release, Event(self.sim)
             self._notified = 0
             self._phase += 1

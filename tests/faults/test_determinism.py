@@ -88,3 +88,37 @@ class TestSnapshotFormat:
         counts = [ln for ln in lines if ln.startswith("count ")]
         assert counts and counts == sorted(counts)  # canonical key order
         assert any(ln.startswith("count faults.crashes ") for ln in lines)
+
+
+class TestTraceDeterminism:
+    """Traces under fault injection are part of the determinism
+    contract: same seed and plan, byte-identical export."""
+
+    def _trace_once(self, faults):
+        from repro.obs.export import dump_chrome_trace
+        from repro.obs.session import trace_session
+
+        with trace_session("det") as sess:
+            prog = make_program(
+                threads=4, nodes=2, threads_per_node=2, faults=faults
+            )
+            prog.run(chatty_main)
+        return dump_chrome_trace(sess.tracers)
+
+    def test_traced_faulty_runs_byte_identical(self):
+        assert self._trace_once(SPEC) == self._trace_once(SPEC)
+
+    def test_tracing_does_not_perturb_stats(self):
+        # Attaching a tracer must not change what the simulation does.
+        from repro.obs.session import trace_session
+
+        with trace_session("det"):
+            traced = make_program(
+                threads=4, nodes=2, threads_per_node=2, faults=SPEC
+            )
+            traced.run(chatty_main)
+        bare = make_program(
+            threads=4, nodes=2, threads_per_node=2, faults=SPEC
+        )
+        bare.run(chatty_main)
+        assert traced.stats.snapshot() == bare.stats.snapshot()

@@ -31,6 +31,62 @@ class TestFormatTable:
         assert out  # renders without KeyError
 
 
+class TestGoldenOutput:
+    """Exact-output tests: renderer changes must be deliberate."""
+
+    def test_format_table_golden(self):
+        rows = [{"n": 1, "time": 0.5}, {"n": 16, "time": 2.25}]
+        assert format_table(rows) == (
+            "n   time\n"
+            "--  ----\n"
+            "1   0.5 \n"
+            "16  2.25"
+        )
+
+    def test_format_series_golden(self):
+        out = format_series({"a": {1: 2.0}}, x_label="n")
+        assert out == "n  a\n-  -\n1  2"
+
+    def test_render_golden(self):
+        r = ExperimentResult(
+            experiment_id="x1", title="Golden", scale="quick",
+            rows=[{"k": 1}],
+            breakdown=[
+                {"category": "compute", "seconds": 0.25, "share": 0.25},
+                {"category": "total", "seconds": 1.0, "share": 1.0},
+            ],
+            comm_matrix=[
+                {"src_node": 0, "dst_node": 1, "messages": 3, "bytes": 96.0}
+            ],
+        )
+        assert r.render() == (
+            "## Golden [x1, scale=quick]\n"
+            "\n"
+            "k\n"
+            "-\n"
+            "1\n"
+            "\n"
+            "Simulated-time breakdown (critical path):\n"
+            "category  seconds  share \n"
+            "--------  -------  ------\n"
+            "compute   0.25     25.0% \n"
+            "total     1        100.0%\n"
+            "\n"
+            "Communication matrix (src node -> dst node):\n"
+            "src_node  dst_node  messages  bytes\n"
+            "--------  --------  --------  -----\n"
+            "0         1         3         96   \n"
+            "\n"
+            "Shape check: OK"
+        )
+
+    def test_render_without_breakdown_has_no_section(self):
+        r = ExperimentResult("x1", "t", "quick", rows=[{"k": 1}])
+        out = r.render()
+        assert "breakdown" not in out
+        assert "Communication matrix" not in out
+
+
 class TestFormatSeries:
     def test_empty(self):
         assert format_series({}) == "(no series)"

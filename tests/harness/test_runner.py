@@ -78,3 +78,38 @@ class TestCli:
     def test_no_experiments_errors(self):
         with pytest.raises(SystemExit):
             cli_main([])
+
+    def test_run_token_compat(self, capsys):
+        # Docs elsewhere use `python -m repro.harness run <id>`.
+        assert cli_main(["run", "t2_1"]) == 0
+        assert "Shape check: OK" in capsys.readouterr().out
+
+
+class TestCliTracing:
+    def test_trace_writes_valid_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.validate import validate_document
+
+        target = tmp_path / "trace.json"
+        assert cli_main(["t3_1", "--trace", str(target)]) == 0
+        doc = json.loads(target.read_text())
+        assert validate_document(doc) == []
+        assert f"trace written to {target}" in capsys.readouterr().out
+
+    def test_trace_rejects_multiple_experiments(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["t2_1", "t3_1", "--trace", str(tmp_path / "t.json")])
+
+    def test_report_breakdown_prints_attribution(self, capsys):
+        assert cli_main(["t3_1", "--report-breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "Simulated-time breakdown" in out
+        assert "compute" in out and "network" in out
+        assert "total" in out
+
+    def test_traces_deterministic_across_invocations(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert cli_main(["t3_1", "--trace", str(a)]) == 0
+        assert cli_main(["t3_1", "--trace", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()

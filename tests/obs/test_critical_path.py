@@ -1,0 +1,170 @@
+"""Unit tests for critical-path attribution and derived reports."""
+
+import pytest
+
+from repro.obs import names
+from repro.obs.critical_path import (
+    _timeline,
+    _union_length,
+    attribute_run,
+    breakdown_rows,
+    comm_matrix_rows,
+    link_utilization_rows,
+)
+from repro.obs.tracer import Span, Tracer, link_track, thread_track
+from repro.sim import Simulator
+
+
+def _tracer(run_index=1):
+    return Tracer(Simulator(), label="t", run_index=run_index)
+
+
+def _add_span(tr, track, name, cat, t0, t1, args=None):
+    s = Span(track, name, cat, t0, len(tr.spans) + 1, args)
+    s.t1 = t1
+    tr.spans.append(s)
+    tr._ensure_track(track)
+    return s
+
+
+class TestTimeline:
+    def test_empty_is_all_compute(self):
+        (seg,) = _timeline([], 10.0)
+        assert (seg.t0, seg.t1, seg.category) == (0.0, 10.0, names.CAT_COMPUTE)
+
+    def test_partitions_exactly(self):
+        tr = _tracer()
+        _add_span(tr, thread_track(0), "x", names.CAT_NETWORK, 2.0, 5.0)
+        segs = _timeline(tr.spans, 10.0)
+        assert segs[0].t0 == 0.0 and segs[-1].t1 == 10.0
+        for a, b in zip(segs, segs[1:]):
+            assert a.t1 == b.t0
+        cats = [(s.t0, s.t1, s.category) for s in segs]
+        assert cats == [
+            (0.0, 2.0, names.CAT_COMPUTE),
+            (2.0, 5.0, names.CAT_NETWORK),
+            (5.0, 10.0, names.CAT_COMPUTE),
+        ]
+
+    def test_priority_steal_over_network(self):
+        tr = _tracer()
+        _add_span(tr, thread_track(0), "n", names.CAT_NETWORK, 0.0, 10.0)
+        _add_span(tr, thread_track(0), "s", names.CAT_STEAL, 4.0, 6.0)
+        segs = _timeline(tr.spans, 10.0)
+        assert [s.category for s in segs] == [
+            names.CAT_NETWORK, names.CAT_STEAL, names.CAT_NETWORK
+        ]
+
+    def test_phase_and_lock_spans_transparent(self):
+        tr = _tracer()
+        _add_span(tr, thread_track(0), "p", names.CAT_PHASE, 0.0, 10.0)
+        _add_span(tr, thread_track(0), "l", names.CAT_LOCK, 2.0, 4.0)
+        (seg,) = _timeline(tr.spans, 10.0)
+        assert seg.category == names.CAT_COMPUTE
+
+    def test_barrier_releaser_from_innermost(self):
+        tr = _tracer()
+        _add_span(tr, thread_track(0), "b", names.CAT_BARRIER, 1.0, 9.0,
+                  args={"releaser": 2})
+        segs = _timeline(tr.spans, 10.0)
+        barrier = [s for s in segs if s.category == names.CAT_BARRIER]
+        assert [s.releaser for s in barrier] == [2]
+
+
+class TestAttributeRun:
+    def test_no_threads_all_compute(self):
+        tr = _tracer()
+        tr.finalize(4.0)
+        totals = attribute_run(tr)
+        assert totals[names.CAT_COMPUTE] == 4.0
+
+    def test_single_thread_partition_sums_to_total(self):
+        tr = _tracer()
+        tr.declare_track(thread_track(0))
+        _add_span(tr, thread_track(0), "n", names.CAT_NETWORK, 1.0, 3.0)
+        _add_span(tr, thread_track(0), "s", names.CAT_STEAL, 5.0, 6.0)
+        tr.finalize(10.0)
+        totals = attribute_run(tr)
+        assert totals[names.CAT_NETWORK] == pytest.approx(2.0)
+        assert totals[names.CAT_STEAL] == pytest.approx(1.0)
+        assert sum(totals.values()) == pytest.approx(10.0)
+
+    def test_barrier_wait_charged_to_straggler(self):
+        # Thread 0 waits in a barrier [2,8] released by thread 1, which
+        # was doing network until t=8.  The walk must charge [2,8] to
+        # network (the straggler's activity), not barrier.
+        tr = _tracer()
+        tr.declare_track(thread_track(0))
+        tr.declare_track(thread_track(1))
+        _add_span(tr, thread_track(0), "bar", names.CAT_BARRIER, 2.0, 8.0,
+                  args={"releaser": 1})
+        _add_span(tr, thread_track(1), "net", names.CAT_NETWORK, 2.0, 8.0)
+        tr.finalize(8.0)
+        totals = attribute_run(tr)
+        assert totals[names.CAT_NETWORK] == pytest.approx(6.0)
+        assert totals[names.CAT_BARRIER] == pytest.approx(0.0)
+        assert sum(totals.values()) == pytest.approx(8.0)
+
+    def test_barrier_without_releaser_stays_barrier(self):
+        tr = _tracer()
+        tr.declare_track(thread_track(0))
+        _add_span(tr, thread_track(0), "bar", names.CAT_BARRIER, 2.0, 8.0)
+        tr.finalize(8.0)
+        totals = attribute_run(tr)
+        assert totals[names.CAT_BARRIER] == pytest.approx(6.0)
+
+    def test_mutual_barrier_cycle_terminates(self):
+        # Two threads each in a barrier naming the other as releaser at
+        # the same instant: the visited guard must break the cycle.
+        tr = _tracer()
+        tr.declare_track(thread_track(0))
+        tr.declare_track(thread_track(1))
+        _add_span(tr, thread_track(0), "b0", names.CAT_BARRIER, 0.0, 5.0,
+                  args={"releaser": 1})
+        _add_span(tr, thread_track(1), "b1", names.CAT_BARRIER, 0.0, 5.0,
+                  args={"releaser": 0})
+        tr.finalize(5.0)
+        totals = attribute_run(tr)
+        assert sum(totals.values()) == pytest.approx(5.0)
+
+
+class TestReports:
+    def test_breakdown_rows_sum_and_share(self):
+        tr = _tracer()
+        tr.declare_track(thread_track(0))
+        _add_span(tr, thread_track(0), "n", names.CAT_NETWORK, 0.0, 4.0)
+        tr.finalize(10.0)
+        rows = breakdown_rows([tr])
+        by_cat = {r["category"]: r for r in rows}
+        assert by_cat["total"]["seconds"] == pytest.approx(10.0)
+        parts = sum(r["seconds"] for r in rows if r["category"] != "total")
+        assert parts == pytest.approx(10.0)
+        assert by_cat["network"]["share"] == pytest.approx(0.4)
+
+    def test_breakdown_rows_empty(self):
+        rows = breakdown_rows([])
+        assert all(r["seconds"] == 0.0 for r in rows)
+
+    def test_comm_matrix_rows_merge_runs(self):
+        a, b = _tracer(1), _tracer(2)
+        a.comm(0, 1, 10)
+        b.comm(0, 1, 5)
+        b.comm(2, 0, 7)
+        rows = comm_matrix_rows([a, b])
+        assert rows == [
+            {"src_node": 0, "dst_node": 1, "messages": 2, "bytes": 15.0},
+            {"src_node": 2, "dst_node": 0, "messages": 1, "bytes": 7.0},
+        ]
+
+    def test_union_length_merges_overlaps(self):
+        assert _union_length([(0, 2), (1, 3), (5, 6)]) == pytest.approx(4.0)
+
+    def test_link_utilization(self):
+        tr = _tracer()
+        _add_span(tr, link_track("nic.tx0"), "x", names.CAT_NETWORK, 0.0, 2.0)
+        _add_span(tr, link_track("nic.tx0"), "x", names.CAT_NETWORK, 1.0, 3.0)
+        tr.finalize(10.0)
+        (row,) = link_utilization_rows([tr])
+        assert row["link"] == "nic.tx0"
+        assert row["busy_seconds"] == pytest.approx(3.0)
+        assert row["utilization"] == pytest.approx(0.3)

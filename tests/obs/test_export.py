@@ -1,0 +1,133 @@
+"""Unit tests for the Chrome trace-event exporter."""
+
+import json
+
+from repro.obs import names
+from repro.obs.export import (
+    _assign_lanes,
+    chrome_trace_events,
+    dump_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracer import Span, Tracer, link_track, thread_track
+from repro.obs.validate import validate_document
+from repro.sim import Simulator
+
+
+def _span(t0, t1, seq, name="s"):
+    s = Span(thread_track(0), name, names.CAT_COMPUTE, t0, seq)
+    s.t1 = t1
+    return s
+
+
+class TestAssignLanes:
+    def test_disjoint_spans_share_lane_zero(self):
+        spans = [_span(0, 1, 1), _span(2, 3, 2), _span(4, 5, 3)]
+        assert _assign_lanes(spans) == [0, 0, 0]
+
+    def test_nested_spans_share_a_lane(self):
+        spans = [_span(0, 10, 1), _span(2, 5, 2), _span(6, 8, 3)]
+        assert _assign_lanes(spans) == [0, 0, 0]
+
+    def test_partial_overlap_opens_new_lane(self):
+        spans = [_span(0, 4, 1), _span(2, 6, 2)]
+        assert _assign_lanes(spans) == [0, 1]
+
+    def test_lane_reuse_after_drain(self):
+        spans = [_span(0, 4, 1), _span(2, 6, 2), _span(5, 7, 3)]
+        # Third span starts after the first ends: lane 0 is free again.
+        assert _assign_lanes(spans) == [0, 1, 0]
+
+    def test_deterministic_regardless_of_emission_order(self):
+        a = [_span(0, 4, 1), _span(2, 6, 2)]
+        b = [a[1], a[0]]
+        la, lb = _assign_lanes(a), _assign_lanes(b)
+        assert [la[0], la[1]] == [lb[1], lb[0]]
+
+
+class TestChromeExport:
+    def _tracer(self):
+        sim = Simulator()
+        tr = Tracer(sim, label="prog", run_index=1)
+        sim.tracer = tr
+        return sim, tr
+
+    def test_events_validate_and_roundtrip(self):
+        sim, tr = self._tracer()
+        tr.declare_track(thread_track(0))
+        sid = tr.begin(thread_track(0), "work", names.CAT_COMPUTE)
+        tr.end(sid)
+        tr.instant(thread_track(0), "mark", names.CAT_FAULT)
+        tr.counter(link_track("nic.tx0"), "inflight", 2)
+        tr.finalize(1e-3)
+        doc = json.loads(dump_chrome_trace([tr]))
+        assert validate_document(doc) == []
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_process_and_thread_metadata(self):
+        _, tr = self._tracer()
+        tr.declare_track(thread_track(0))
+        tr.declare_track(thread_track(1))
+        events = chrome_trace_events([tr])
+        meta = [e for e in events if e["ph"] == "M"]
+        names_ = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert names_ == {"thread 0", "thread 1"}
+        procs = [e for e in meta if e["name"] == "process_name"]
+        assert procs == [{"ph": "M", "pid": 1, "name": "process_name",
+                          "args": {"name": "prog"}}]
+
+    def test_overflow_lane_gets_tilde_name(self):
+        sim, tr = self._tracer()
+        a = tr.begin(thread_track(0), "a")
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        b = tr.begin(thread_track(0), "b")  # overlaps a: t0=1
+        tr.spans[a].t1 = 2.0
+        tr.spans[b].t1 = 3.0
+        events = chrome_trace_events([tr])
+        lane_names = [e["args"]["name"] for e in events
+                      if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert lane_names == ["thread 0", "thread 0 ~2"]
+        xs = {e["name"]: e["tid"] for e in events if e["ph"] == "X"}
+        assert xs["a"] != xs["b"]
+
+    def test_times_scaled_to_microseconds(self):
+        sim, tr = self._tracer()
+        sid = tr.begin(thread_track(0), "w")
+        sim.schedule_at(2e-6, lambda: None)
+        sim.run()
+        tr.end(sid)
+        (x,) = [e for e in chrome_trace_events([tr]) if e["ph"] == "X"]
+        assert x["ts"] == 0.0
+        assert x["dur"] == 2.0
+
+    def test_dump_is_byte_deterministic(self):
+        def build():
+            sim = Simulator()
+            tr = Tracer(sim, label="p", run_index=1)
+            tr.begin(thread_track(0), "w", args={"b": 1, "a": 2})
+            tr.comm(0, 1, 8)
+            tr.finalize(1.0)
+            return tr
+
+        assert dump_chrome_trace([build()]) == dump_chrome_trace([build()])
+
+    def test_write_chrome_trace(self, tmp_path):
+        _, tr = self._tracer()
+        tr.begin(thread_track(0), "w")
+        tr.finalize(1.0)
+        path = tmp_path / "t.json"
+        write_chrome_trace(str(path), [tr])
+        doc = json.loads(path.read_text())
+        assert validate_document(doc) == []
+
+    def test_multiple_tracers_get_distinct_pids(self):
+        tracers = []
+        for i in (1, 2):
+            sim = Simulator()
+            tr = Tracer(sim, label=f"run{i}", run_index=i)
+            tr.begin(thread_track(0), "w")
+            tr.finalize(1.0)
+            tracers.append(tr)
+        pids = {e["pid"] for e in chrome_trace_events(tracers)}
+        assert pids == {1, 2}

@@ -1,0 +1,40 @@
+"""Unit tests for trace-session scoping."""
+
+import pytest
+
+from repro.obs.session import active_session, trace_session, tracer_for
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.sim import Simulator
+
+
+class TestTracerFor:
+    def test_null_without_session(self):
+        assert active_session() is None
+        assert tracer_for(Simulator(), label="x") is NULL_TRACER
+
+    def test_real_tracer_inside_session(self):
+        with trace_session("s") as sess:
+            tr = tracer_for(Simulator(), label="x")
+            assert isinstance(tr, Tracer) and tr.enabled
+            assert sess.tracers == [tr]
+        assert active_session() is None
+
+    def test_run_indices_sequential(self):
+        with trace_session("s") as sess:
+            a = tracer_for(Simulator(), label="a")
+            b = tracer_for(Simulator(), label="b")
+        assert (a.run_index, b.run_index) == (1, 2)
+        assert [t.label for t in sess.tracers] == ["a", "b"]
+
+    def test_nesting_rejected(self):
+        with trace_session("outer"):
+            with pytest.raises(RuntimeError):
+                with trace_session("inner"):
+                    pass
+
+    def test_session_cleared_after_error(self):
+        with pytest.raises(KeyError):
+            with trace_session("s"):
+                raise KeyError("boom")
+        assert active_session() is None
+        assert tracer_for(Simulator(), label="x") is NULL_TRACER

@@ -1,0 +1,54 @@
+"""Unit tests for the trace-event schema validator."""
+
+from repro.obs.validate import validate_document, validate_events
+
+
+def _x(**kw):
+    ev = {"ph": "X", "name": "w", "ts": 0.0, "dur": 1.0, "pid": 1, "tid": 1}
+    ev.update(kw)
+    return ev
+
+
+class TestValidateEvents:
+    def test_valid_minimal(self):
+        events = [
+            {"ph": "M", "pid": 1, "name": "process_name", "args": {"name": "p"}},
+            _x(),
+            {"ph": "i", "name": "mark", "ts": 0.0, "pid": 1, "s": "t"},
+            {"ph": "C", "name": "c", "ts": 0.0, "pid": 1, "args": {"value": 2}},
+        ]
+        assert validate_events(events) == []
+
+    def test_not_a_list(self):
+        assert validate_events({"ph": "X"})
+
+    def test_empty(self):
+        assert validate_events([])
+
+    def test_unknown_phase(self):
+        assert any("ph" in p for p in validate_events([_x(ph="Q")]))
+
+    def test_missing_required_field(self):
+        ev = _x()
+        del ev["dur"]
+        assert validate_events([ev])
+
+    def test_negative_duration(self):
+        assert validate_events([_x(dur=-1.0)])
+
+    def test_non_numeric_ts(self):
+        assert validate_events([_x(ts="zero")])
+
+    def test_problem_list_truncated(self):
+        events = [_x(dur=-1.0) for _ in range(200)]
+        assert len(validate_events(events)) <= 52
+
+
+class TestValidateDocument:
+    def test_document_shape(self):
+        assert validate_document({"traceEvents": [_x()]}) == []
+        assert validate_document([_x()])  # bare list is not a document
+        assert validate_document({"events": []})
+
+    def test_problems_propagate(self):
+        assert validate_document({"traceEvents": [_x(dur=-1)]})
