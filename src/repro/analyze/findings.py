@@ -1,0 +1,60 @@
+"""Sanitizer findings: one diagnostic per detected defect.
+
+A :class:`Finding` is deliberately plain data (no references into the
+simulated stack) so sessions can outlive the programs that produced them
+and the harness can serialize findings into reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["Finding", "render_findings", "CHECKERS"]
+
+#: The three dynamic checkers (DESIGN.md §9).
+CHECKERS = ("race", "privatization", "collective")
+
+
+@dataclass
+class Finding:
+    """One sanitizer diagnostic.
+
+    ``phases`` carries the phase-timer context from :mod:`repro.obs`: the
+    ``(name, key)`` pairs of every phase timer open at detection time, so
+    a race inside the FT transpose reads "during fft1d" rather than just
+    a simulated timestamp.
+    """
+
+    checker: str                      #: "race" | "privatization" | "collective"
+    message: str                      #: human-readable one-liner
+    time: float = 0.0                 #: simulated seconds at detection
+    threads: Tuple[int, ...] = ()     #: UPC threads involved
+    phases: Tuple[tuple, ...] = ()    #: open phase timers (name, key)
+    details: Dict = field(default_factory=dict)
+
+    def row(self) -> Dict:
+        """Flat dict for table rendering (reporting.py)."""
+        return {
+            "checker": self.checker,
+            "threads": ",".join(str(t) for t in self.threads),
+            "time": self.time,
+            "phase": ";".join(name for name, _key in self.phases),
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        who = ",".join(str(t) for t in self.threads)
+        ctx = ""
+        if self.phases:
+            ctx = " during " + "+".join(name for name, _key in self.phases)
+        return f"[{self.checker}] t={self.time:.3g} threads={{{who}}}{ctx}: {self.message}"
+
+
+def render_findings(findings: List[Finding]) -> str:
+    """Plain-text block for CLI output; empty string when clean."""
+    if not findings:
+        return ""
+    lines = [f"sanitizer: {len(findings)} finding(s)"]
+    lines += [f"  {f}" for f in findings]
+    return "\n".join(lines)

@@ -73,19 +73,24 @@ class Team:
     def barrier(self, thread_id: int) -> Generator:
         """Simulated generator: team barrier (all live members must call)."""
         self.rank(thread_id)  # membership check
+        sanitizer = self.sim.sanitizer
+        if sanitizer.enabled:
+            sanitizer.barrier_arrive(("team", self.name), thread_id, self.members)
         tracer = self.sim.tracer
         if not tracer.enabled:
             yield self._barrier.arrive(party=thread_id)
-            return
-        span = tracer.begin(
-            thread_track(thread_id), f"barrier {self.name}", names.CAT_BARRIER
-        )
-        try:
-            yield self._barrier.arrive(party=thread_id)
-        finally:
-            # The last arriver released us; recording it lets the
-            # critical-path walk jump to the straggler's track.
-            tracer.end(span, args={"releaser": self._barrier.last_arriver})
+        else:
+            span = tracer.begin(
+                thread_track(thread_id), f"barrier {self.name}", names.CAT_BARRIER
+            )
+            try:
+                yield self._barrier.arrive(party=thread_id)
+            finally:
+                # The last arriver released us; recording it lets the
+                # critical-path walk jump to the straggler's track.
+                tracer.end(span, args={"releaser": self._barrier.last_arriver})
+        if sanitizer.enabled:
+            sanitizer.barrier_pass(("team", self.name), thread_id)
 
     def drop_dead(self, thread_id: int) -> bool:
         """Fail-stop a member: future barriers no longer count it.

@@ -42,6 +42,10 @@ def main(argv=None) -> int:
                         help="append the critical-path time attribution "
                              "(compute/network/barrier/steal) and the "
                              "communication matrix to each report")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="arm the dynamic PGAS sanitizer (repro.analyze): "
+                             "race, privatization-legality and collective-"
+                             "matching checks; any finding fails the run")
     args = parser.parse_args(argv)
 
     # `run` compat: accept `python -m repro.harness run f4_2` like the
@@ -69,6 +73,7 @@ def main(argv=None) -> int:
             result = run_experiment(
                 eid, scale=args.scale, faults=args.faults,
                 trace_path=args.trace, breakdown=args.report_breakdown,
+                sanitize=args.sanitize,
             )
         except FaultError as exc:
             parser.error(f"--faults: {exc}")
@@ -80,7 +85,7 @@ def main(argv=None) -> int:
         chunk = result.render() + f"\n(wall time {wall:.1f}s)\n"
         chunks.append(chunk)
         print(chunk)
-        ok = ok and result.shape_ok
+        ok = ok and result.shape_ok and not result.sanitizer_findings
     report = "\n".join(chunks)
     if args.trace:
         print(f"trace written to {args.trace}")

@@ -68,6 +68,12 @@ class ExperimentResult:
     #: traced communication matrix: rows of {src_node, dst_node,
     #: messages, bytes}, aggregated over every run in the experiment.
     comm_matrix: List[Dict] = field(default_factory=list)
+    #: True when the run was sanitized (``--sanitize``); lets render()
+    #: distinguish "clean" from "not checked".
+    sanitized: bool = False
+    #: dynamic-sanitizer findings (``--sanitize``): rows of
+    #: {checker, threads, time, phase, message} from repro.analyze.
+    sanitizer_findings: List[Dict] = field(default_factory=list)
 
     @property
     def shape_ok(self) -> bool:
@@ -88,6 +94,15 @@ class ExperimentResult:
         if self.comm_matrix:
             parts += ["Communication matrix (src node -> dst node):",
                       format_table(self.comm_matrix), ""]
+        if self.sanitizer_findings:
+            parts += ["Sanitizer findings:",
+                      format_table(
+                          self.sanitizer_findings,
+                          columns=["checker", "threads", "time", "phase",
+                                   "message"],
+                      ), ""]
+        elif self.sanitized:
+            parts += ["Sanitizer: clean (0 findings)", ""]
         if self.paper_values:
             parts.append("Paper reported:")
             parts += [f"  - {p}" for p in self.paper_values]

@@ -83,34 +83,56 @@ def run_experiment(
     faults=None,
     trace_path=None,
     breakdown: bool = False,
+    sanitize: bool = False,
 ) -> ExperimentResult:
-    """Run one experiment; optionally trace it.
+    """Run one experiment; optionally trace and/or sanitize it.
 
     ``trace_path`` writes a Chrome trace-event JSON covering every
     simulated program the experiment ran; ``breakdown`` attaches the
     critical-path time attribution and communication matrix to the
-    result (rendered by :meth:`ExperimentResult.render`).  Both default
-    off, in which case no tracer is attached and the simulation runs at
-    full speed.
+    result (rendered by :meth:`ExperimentResult.render`); ``sanitize``
+    arms the dynamic PGAS sanitizer (:mod:`repro.analyze`) and attaches
+    its findings.  All default off, in which case neither a tracer nor a
+    sanitizer is attached and the simulation runs at full speed.
     """
     exp = get_experiment(experiment_id)
     if faults and not exp.accepts_faults:
         raise ValueError(
             f"experiment {experiment_id!r} does not accept a --faults spec"
         )
-    if not trace_path and not breakdown:
+    if not trace_path and not breakdown and not sanitize:
         return exp(scale, faults=faults)
 
-    from repro.obs.critical_path import breakdown_rows, comm_matrix_rows
-    from repro.obs.export import write_chrome_trace
-    from repro.obs.session import trace_session
+    from contextlib import ExitStack
 
-    with trace_session(experiment_id) as session:
+    with ExitStack() as stack:
+        san_session = None
+        if sanitize:
+            from repro.analyze.sanitizer import sanitize_session
+
+            san_session = stack.enter_context(sanitize_session(experiment_id))
+        session = None
+        if trace_path or breakdown:
+            from repro.obs.session import trace_session
+
+            session = stack.enter_context(trace_session(experiment_id))
         result = exp(scale, faults=faults)
     if trace_path:
+        from repro.obs.export import write_chrome_trace
+
         write_chrome_trace(trace_path, session.tracers)
         result.notes.append(f"trace written ({len(session.tracers)} runs)")
     if breakdown:
+        from repro.obs.critical_path import breakdown_rows, comm_matrix_rows
+
         result.breakdown = breakdown_rows(session.tracers)
         result.comm_matrix = comm_matrix_rows(session.tracers)
+    if sanitize:
+        findings = san_session.findings
+        result.sanitized = True
+        result.sanitizer_findings = [f.row() for f in findings]
+        result.notes.append(
+            f"sanitizer: {len(findings)} finding(s) across "
+            f"{len(san_session.sanitizers)} run(s)"
+        )
     return result

@@ -41,6 +41,8 @@ __all__ = [
     "uts_steal",
     # other apps / mpi
     "GUPS_BUCKET_FLUSHES", "GUPS_REMOTE_UPDATES", "MPI_SENDS", "MPI_RECVS",
+    # sanitizer (repro.analyze)
+    "SAN_RACE_FINDINGS", "SAN_PRIVATIZATION_FINDINGS", "SAN_COLLECTIVE_FINDINGS",
     # registry
     "REGISTRY", "all_metric_names",
 ]
@@ -130,6 +132,12 @@ GUPS_REMOTE_UPDATES = "gups.remote_updates"
 MPI_SENDS = "mpi.sends"
 MPI_RECVS = "mpi.recvs"
 
+# -- sanitizer (repro.analyze) --------------------------------------------
+
+SAN_RACE_FINDINGS = "sanitizer.race_findings"
+SAN_PRIVATIZATION_FINDINGS = "sanitizer.privatization_findings"
+SAN_COLLECTIVE_FINDINGS = "sanitizer.collective_findings"
+
 # -- registry -------------------------------------------------------------
 
 #: name -> (kind, meaning).  ``kind`` is how the StatsCollector stores it.
@@ -168,6 +176,9 @@ REGISTRY = {
     GUPS_REMOTE_UPDATES: ("count", "RandomAccess remote table updates"),
     MPI_SENDS: ("count", "MPI point-to-point sends"),
     MPI_RECVS: ("count", "MPI point-to-point receives"),
+    SAN_RACE_FINDINGS: ("count", "sanitizer: data races detected"),
+    SAN_PRIVATIZATION_FINDINGS: ("count", "sanitizer: illegal privatized accesses"),
+    SAN_COLLECTIVE_FINDINGS: ("count", "sanitizer: collective/barrier mismatches"),
 }
 
 

@@ -27,6 +27,7 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.analyze.sanitizer import NULL_SANITIZER
 from repro.obs.tracer import NULL_TRACER
 
 __all__ = [
@@ -353,6 +354,9 @@ class Simulator:
         #: sites can stay unconditional (`if self.tracer.enabled:` guards
         #: the hot paths).
         self.tracer = NULL_TRACER
+        #: Correctness sink (repro.analyze); same NULL-object discipline —
+        #: `if self.sanitizer.enabled:` keeps unsanitized runs at full speed.
+        self.sanitizer = NULL_SANITIZER
 
     # -- scheduling --------------------------------------------------
 

@@ -34,9 +34,12 @@ def broadcast(upc, team: Team, nbytes: float, root_rank: int = 0, value: Any = N
         raise UpcError(f"root rank {root_rank} out of range for team of {size}")
     tag = team.op_tag(upc.MYTHREAD)
     rel = (me - root_rank) % size
+    sanitizer = upc.sim.sanitizer
 
     box = upc.program.flag((tag, "value"))
     if rel == 0 and not box.done:
+        if sanitizer.enabled:
+            sanitizer.flag_signal((tag, "value"), upc.MYTHREAD)
         box.succeed(value)
 
     # Standard binomial tree: receive from the parent below my lowest
@@ -46,6 +49,8 @@ def broadcast(upc, team: Team, nbytes: float, root_rank: int = 0, value: Any = N
         if rel & mask:
             flag = upc.program.flag((tag, rel))
             yield flag
+            if sanitizer.enabled:
+                sanitizer.flag_join((tag, rel), upc.MYTHREAD)
             upc.program._flags.pop((tag, rel), None)
             break
         mask <<= 1
@@ -55,10 +60,14 @@ def broadcast(upc, team: Team, nbytes: float, root_rank: int = 0, value: Any = N
         if child_rel < size:
             dst = team.thread_at((child_rel + root_rank) % size)
             yield from upc.memput(dst, nbytes)
+            if sanitizer.enabled:
+                sanitizer.flag_signal((tag, child_rel), upc.MYTHREAD)
             upc.program.flag((tag, child_rel)).succeed()
         mask >>= 1
 
     result = yield box
+    if sanitizer.enabled:
+        sanitizer.flag_join((tag, "value"), upc.MYTHREAD)
     return result
 
 
@@ -76,6 +85,7 @@ def reduce(
     me = team.rank(upc.MYTHREAD)
     tag = team.op_tag(upc.MYTHREAD)
     rel = (me - root_rank) % size
+    sanitizer = upc.sim.sanitizer
 
     acc = value
     bit = 1
@@ -86,12 +96,16 @@ def reduce(
             dst = team.thread_at((dst_rel + root_rank) % size)
             yield from upc.memput(dst, nbytes)
             flag = upc.program.flag((tag, rel))
+            if sanitizer.enabled:
+                sanitizer.flag_signal((tag, rel), upc.MYTHREAD)
             flag.succeed(acc)
             return None
         partner_rel = rel | bit
         if partner_rel < size:
             flag = upc.program.flag((tag, partner_rel))
             other = yield flag
+            if sanitizer.enabled:
+                sanitizer.flag_join((tag, partner_rel), upc.MYTHREAD)
             upc.program._flags.pop((tag, partner_rel), None)
             acc = op(acc, other)
         bit <<= 1
@@ -152,8 +166,11 @@ def gather(upc, team: Team, nbytes: float, root_rank: int = 0) -> Generator:
     me = team.rank(upc.MYTHREAD)
     root = team.thread_at(root_rank)
     tag = team.op_tag(upc.MYTHREAD)
+    sanitizer = upc.sim.sanitizer
     if me != root_rank:
         yield from upc.memput(root, nbytes)
+        if sanitizer.enabled:
+            sanitizer.flag_signal((tag, me), upc.MYTHREAD)
         upc.program.flag((tag, me)).succeed()
     else:
         for r in range(len(team)):
@@ -161,6 +178,8 @@ def gather(upc, team: Team, nbytes: float, root_rank: int = 0) -> Generator:
                 continue
             flag = upc.program.flag((tag, r))
             yield flag
+            if sanitizer.enabled:
+                sanitizer.flag_join((tag, r), upc.MYTHREAD)
             upc.program._flags.pop((tag, r), None)
 
 
@@ -168,13 +187,18 @@ def scatter(upc, team: Team, nbytes: float, root_rank: int = 0) -> Generator:
     """Root puts a distinct ``nbytes`` chunk to every member (flat scatter)."""
     me = team.rank(upc.MYTHREAD)
     tag = team.op_tag(upc.MYTHREAD)
+    sanitizer = upc.sim.sanitizer
     if me == root_rank:
         for r in range(len(team)):
             if r == root_rank:
                 continue
             yield from upc.memput(team.thread_at(r), nbytes)
+            if sanitizer.enabled:
+                sanitizer.flag_signal((tag, r), upc.MYTHREAD)
             upc.program.flag((tag, r)).succeed()
     else:
         flag = upc.program.flag((tag, me))
         yield flag
+        if sanitizer.enabled:
+            sanitizer.flag_join((tag, me), upc.MYTHREAD)
         upc.program._flags.pop((tag, me), None)

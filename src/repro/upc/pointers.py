@@ -42,10 +42,18 @@ class SharedPointer:
         return self.index % self.array.blocksize
 
     def __add__(self, offset: int) -> "SharedPointer":
-        return SharedPointer(self.array, self.index + offset)
+        index = self.index + offset
+        if not 0 <= index < self.array.nelems:
+            raise UpcError(
+                f"shared-pointer arithmetic out of bounds: {self.index} + "
+                f"{offset} outside [0, {self.array.nelems})"
+            )
+        # The constructor re-derives phase from the new index, so phase
+        # stays consistent with the blocksize across arithmetic.
+        return SharedPointer(self.array, index)
 
     def __sub__(self, offset: int) -> "SharedPointer":
-        return SharedPointer(self.array, self.index - offset)
+        return self.__add__(-offset)
 
     def get(self, upc) -> Generator:
         """Costed dereference (read) through the shared pointer."""
@@ -68,21 +76,31 @@ class SharedPointer:
                 f"thread {upc.MYTHREAD} cannot cast a pointer into thread "
                 f"{self.owner}'s memory (no shared-memory path)"
             )
-        return LocalPointer(self.array, self.index, upc.MYTHREAD)
+        return LocalPointer(self.array, self.index, upc.MYTHREAD,
+                            base_owner=self.owner)
 
     def __repr__(self) -> str:
         return f"<SharedPointer idx={self.index} owner={self.owner} phase={self.phase}>"
 
 
 class LocalPointer:
-    """A privatized pointer: direct load/store, no translation cost."""
+    """A privatized pointer: direct load/store, no translation cost.
 
-    __slots__ = ("array", "index", "holder")
+    ``base_owner`` remembers which thread's block the cast targeted;
+    arithmetic carries it along so the sanitizer can flag dereferences
+    that wandered across an affinity boundary (a cast is only valid
+    within one thread's contiguous block — the next block belongs to a
+    different thread whose segment may be mapped elsewhere).
+    """
 
-    def __init__(self, array: SharedArray, index: int, holder: int):
+    __slots__ = ("array", "index", "holder", "base_owner")
+
+    def __init__(self, array: SharedArray, index: int, holder: int,
+                 base_owner: int = None):
         self.array = array
         self.index = index
         self.holder = holder
+        self.base_owner = array.owner(index) if base_owner is None else base_owner
 
     @property
     def owner(self) -> int:
@@ -90,13 +108,33 @@ class LocalPointer:
 
     def __add__(self, offset: int) -> "LocalPointer":
         self.array._check_index(self.index + offset)
-        return LocalPointer(self.array, self.index + offset, self.holder)
+        return LocalPointer(self.array, self.index + offset, self.holder,
+                            base_owner=self.base_owner)
+
+    def __sub__(self, offset: int) -> "LocalPointer":
+        return self.__add__(-offset)
+
+    def _check_deref(self, upc, op: str) -> None:
+        sanitizer = upc.sim.sanitizer
+        if sanitizer.enabled:
+            sanitizer.on_private_access(
+                upc.MYTHREAD, self.array, self.index, self.holder,
+                self.base_owner, op,
+            )
+        owner = self.array.owner(self.index)
+        if owner in upc.program.dead_threads():
+            raise UpcError(
+                f"stale privatized pointer: owner thread {owner} of element "
+                f"{self.index} was killed by a fault plan"
+            )
 
     def get(self, upc) -> Generator:
+        self._check_deref(upc, "read")
         value = yield from self.array.read_elem(upc, self.index, privatized=True)
         return value
 
     def put(self, upc, value) -> Generator:
+        self._check_deref(upc, "write")
         yield from self.array.write_elem(upc, self.index, value, privatized=True)
 
     def __repr__(self) -> str:

@@ -11,9 +11,10 @@ locks, thread groups, cost charging).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
+from repro.analyze.sanitizer import sanitizer_for
 from repro.errors import UpcError
 from repro.gasnet import BackendConfig, GasnetRuntime, Team, ThreadLocation, extended
 from repro.gasnet.extended import Handle
@@ -65,6 +66,13 @@ class CollectiveGate:
             slot = {"payloads": {}, "events": {}, "combine": combine}
             self._pending[tag] = slot
         if thread in slot["payloads"]:
+            sanitizer = self.sim.sanitizer
+            if sanitizer.enabled:
+                sanitizer.record_collective_misuse(
+                    thread,
+                    f"submitted twice to collective {tag!r} (missing "
+                    "barrier between collectives?)",
+                )
             raise UpcError(
                 f"thread {thread} submitted twice to collective {tag!r} "
                 "(missing barrier between collectives?)"
@@ -88,6 +96,8 @@ class ProgramResult:
     returns: List[Any]             #: per-thread return values
     stats: StatsCollector
     sim: Simulator
+    #: sanitizer findings (empty unless run under a sanitize_session)
+    findings: List[Any] = field(default_factory=list)
 
     def timer_max(self, name: str) -> float:
         return self.stats.timer_max(name)
@@ -172,6 +182,9 @@ class UpcProgram:
                 self.sim.tracer.declare_track(thread_track(t))
         self.topo: MachineTopology = self.preset.topology()
         self.stats = StatsCollector(self.sim)
+        # Arm the sanitizer (no-op outside a sanitize_session); like the
+        # tracer it lives on the simulator so every layer reaches it.
+        self.sim.sanitizer = sanitizer_for(self)
         self.mem = MemorySystem(self.sim, self.topo, self.preset.memory)
 
         if threads_per_node is None:
@@ -374,6 +387,11 @@ class UpcProgram:
             if alive >= 1 and self.world.drop_dead(t):
                 self.stats.count(names.FAULTS_BARRIER_SEATS_DROPPED)
             self.split_barrier.mark_dead(t)
+        sanitizer = self.sim.sanitizer
+        if sanitizer.enabled:
+            # Dead threads are excused from collective-matching checks.
+            for t in dead:
+                sanitizer.mark_dead(t)
 
     # -- execution ---------------------------------------------------------
 
@@ -389,6 +407,11 @@ class UpcProgram:
             # Close still-open spans (transfers cut short by kills) so the
             # trace is complete even when the checks below raise.
             self.sim.tracer.finalize(self.sim.now)
+        sanitizer = self.sim.sanitizer
+        if sanitizer.enabled:
+            # End-of-run matching checks must run before the deadlock /
+            # failure raises below: the findings usually explain them.
+            sanitizer.finalize()
         self.sim.raise_failures()
         unfinished = [p.name for p in procs if not p.done]
         if unfinished:
@@ -410,6 +433,7 @@ class UpcProgram:
             returns=[p.result for p in procs],
             stats=self.stats,
             sim=self.sim,
+            findings=list(sanitizer.findings),
         )
 
     def context(self, thread: int) -> "Upc":
@@ -498,6 +522,9 @@ class Upc:
         tracer = self.sim.tracer
         if not tracer.enabled:
             yield self.program.split_barrier.wait(self.MYTHREAD)
+            sanitizer = self.sim.sanitizer
+            if sanitizer.enabled:
+                sanitizer.wait_join(self.MYTHREAD)
             return
         span = tracer.begin(
             thread_track(self.MYTHREAD), "upc_wait", names.CAT_BARRIER
@@ -508,6 +535,9 @@ class Upc:
             tracer.end(
                 span, args={"releaser": self.program.split_barrier.last_releaser}
             )
+        sanitizer = self.sim.sanitizer
+        if sanitizer.enabled:
+            sanitizer.wait_join(self.MYTHREAD)
 
     def lock(self, key: object, affinity_thread: int = 0):
         """Get (creating on first use) the named global lock."""
@@ -561,8 +591,15 @@ class Upc:
 
     def collective(self, tag: str, payload: Any, combine: Callable[[dict], Any]) -> Generator:
         """Low-level barrier-with-data (used by allocs and group splits)."""
+        sanitizer = self.sim.sanitizer
+        if sanitizer.enabled:
+            sanitizer.barrier_arrive(
+                ("collective", tag), self.MYTHREAD, range(self.THREADS)
+            )
         ev = self.program.gate.submit(tag, self.MYTHREAD, payload, combine)
         result = yield ev
+        if sanitizer.enabled:
+            sanitizer.barrier_pass(("collective", tag), self.MYTHREAD)
         return result
 
     def all_alloc(self, nelems: int, dtype=None, blocksize: Optional[int] = None,

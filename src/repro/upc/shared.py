@@ -138,6 +138,9 @@ class SharedArray:
         backing) or 0 (virtual).
         """
         owner = self.owner(index)
+        sanitizer = upc.sim.sanitizer
+        if sanitizer.enabled:
+            sanitizer.on_access(upc.MYTHREAD, self, index, 1, False, "read_elem")
         if not privatized:
             yield from upc.charge_shared_accesses(1)
         if upc.gasnet.can_bypass(upc.MYTHREAD, owner):
@@ -149,6 +152,9 @@ class SharedArray:
     def write_elem(self, upc, index: int, value, privatized: bool = False) -> Generator:
         """Simulated generator: one fine-grained shared write."""
         owner = self.owner(index)
+        sanitizer = upc.sim.sanitizer
+        if sanitizer.enabled:
+            sanitizer.on_access(upc.MYTHREAD, self, index, 1, True, "write_elem")
         if not privatized:
             yield from upc.charge_shared_accesses(1)
         if upc.gasnet.can_bypass(upc.MYTHREAD, owner):
@@ -164,6 +170,9 @@ class SharedArray:
         Charges one operation per single-owner run; returns a NumPy copy
         (real backing) or ``None`` (virtual).
         """
+        sanitizer = upc.sim.sanitizer
+        if sanitizer.enabled and count > 0:
+            sanitizer.on_access(upc.MYTHREAD, self, start, count, False, "get_block")
         for owner, run_start, run_len in self.affinity_runs(start, count):
             nbytes = run_len * self.itemsize
             if owner == upc.MYTHREAD:
@@ -174,13 +183,46 @@ class SharedArray:
             return self._data[start:start + count].copy()
         return None
 
-    def put_block(self, upc, start: int, data, privatized: bool = False) -> Generator:
-        """Simulated generator: bulk ``upc_memput`` into a global range."""
+    def put_block(
+        self, upc, start: int, data=None, privatized: bool = False,
+        count: Optional[int] = None,
+    ) -> Generator:
+        """Simulated generator: bulk ``upc_memput`` into a global range.
+
+        Real backing takes ``data`` (a sequence written into the range);
+        virtual backing has nowhere to put values, so the range length
+        must be an explicit ``count=`` — historically a scalar ``data``
+        was silently reinterpreted as a count, which hid genuine
+        data-vs-count call-site bugs.
+        """
         if self._data is not None:
+            if data is None:
+                raise UpcError("put_block on a real-backed array needs data")
             data = np.asarray(data, dtype=self.dtype)
+            if data.ndim == 0:
+                raise UpcError(
+                    "put_block data must be a sequence of elements; got a "
+                    "scalar (pass count= to size a virtual-array put)"
+                )
+            if count is not None and count != len(data):
+                raise UpcError(
+                    f"put_block count={count} disagrees with len(data)={len(data)}"
+                )
             count = len(data)
-        else:
-            count = int(data) if np.isscalar(data) else len(data)
+        elif count is None:
+            if data is None or np.isscalar(data):
+                raise UpcError(
+                    "put_block on a virtual array needs an explicit count= "
+                    "(a bare scalar is ambiguous: value or element count?)"
+                )
+            count = len(data)
+        elif data is not None and not np.isscalar(data) and len(data) != count:
+            raise UpcError(
+                f"put_block count={count} disagrees with len(data)={len(data)}"
+            )
+        sanitizer = upc.sim.sanitizer
+        if sanitizer.enabled and count > 0:
+            sanitizer.on_access(upc.MYTHREAD, self, start, count, True, "put_block")
         for owner, run_start, run_len in self.affinity_runs(start, count):
             nbytes = run_len * self.itemsize
             if owner == upc.MYTHREAD:

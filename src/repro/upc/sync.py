@@ -56,6 +56,11 @@ class UpcLock:
             self.contended_acquires += 1
         yield grant
         self._holder = upc.MYTHREAD
+        sanitizer = self.program.sim.sanitizer
+        if sanitizer.enabled:
+            # acquire joins the previous releaser's clock: accesses under
+            # the lock are ordered across threads.
+            sanitizer.lock_acquire(self.key, upc.MYTHREAD)
         tracer = self.program.sim.tracer
         if tracer.enabled:
             self._hold_span = tracer.begin(
@@ -70,6 +75,9 @@ class UpcLock:
                 f"{self._holder}"
             )
         self._holder = None
+        sanitizer = self.program.sim.sanitizer
+        if sanitizer.enabled:
+            sanitizer.lock_release(self.key, upc.MYTHREAD)
         # Releasing notifies the home; a shared-memory round when local.
         # The hand-off to queued waiters must happen even if the round
         # fails (dead home) or the releaser is killed mid-round —
@@ -142,10 +150,17 @@ class SplitPhaseBarrier:
     def notify(self, thread: int) -> None:
         """Non-blocking arrival (``upc_notify``)."""
         self._check_thread(thread)
+        sanitizer = self.sim.sanitizer
         if self._thread_state[thread] % 2 != 0:
+            if sanitizer.enabled:
+                sanitizer.record_collective_misuse(
+                    thread, "upc_notify before matching upc_wait"
+                )
             raise UpcError(
                 f"thread {thread}: upc_notify before matching upc_wait"
             )
+        if sanitizer.enabled:
+            sanitizer.notify(thread)
         self._thread_state[thread] += 1
         self._notified += 1
         self._maybe_release(releaser=thread)
@@ -186,8 +201,15 @@ class SplitPhaseBarrier:
         Already complete if every other thread has notified.
         """
         self._check_thread(thread)
+        sanitizer = self.sim.sanitizer
         if self._thread_state[thread] % 2 != 1:
+            if sanitizer.enabled:
+                sanitizer.record_collective_misuse(
+                    thread, "upc_wait without upc_notify"
+                )
             raise UpcError(f"thread {thread}: upc_wait without upc_notify")
+        if sanitizer.enabled:
+            sanitizer.wait_begin(thread)
         my_phase = self._thread_state[thread] // 2
         self._thread_state[thread] += 1
         if my_phase < self._phase:

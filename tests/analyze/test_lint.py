@@ -1,0 +1,93 @@
+"""The static PGAS linter: each rule fires on its fixture, the repo is clean."""
+
+from pathlib import Path
+
+from repro.analyze.lint import lint_paths, lint_source, main
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def codes(source, path="pkg/mod.py"):
+    return [v.code for v in lint_source(source, path)]
+
+
+class TestPGAS001Wallclock:
+    def test_time_module_flagged(self):
+        assert codes("import time\nt0 = time.time()\n") == ["PGAS001"]
+        assert codes("d = time.perf_counter()\n") == ["PGAS001"]
+
+    def test_datetime_flagged(self):
+        assert codes("stamp = datetime.now()\n") == ["PGAS001"]
+
+    def test_harness_exempt(self):
+        src = "import time\nt0 = time.time()\n"
+        assert codes(src, "src/repro/harness/runner.py") == []
+
+    def test_simulated_clock_fine(self):
+        assert codes("t0 = upc.wtime()\nt1 = sim.now\n") == []
+
+
+class TestPGAS002DroppedGenerator:
+    def test_bare_costed_call_flagged(self):
+        src = "def f(upc, arr):\n    arr.read_elem(upc, 0)\n"
+        assert codes(src) == ["PGAS002"]
+        assert codes("def f(upc):\n    upc.barrier()\n") == ["PGAS002"]
+
+    def test_driven_call_fine(self):
+        src = "def f(upc, arr):\n    v = yield from arr.read_elem(upc, 0)\n"
+        assert codes(src) == []
+
+    def test_bound_handle_fine(self):
+        assert codes("def f(upc):\n    h = upc.memput_nb(1, 64)\n") == []
+
+
+class TestPGAS003LiteralMetricName:
+    def test_string_literal_flagged(self):
+        assert codes("stats.count('uts.steals')\n") == ["PGAS003"]
+        assert codes("self.stats.add('x', 3)\n") == ["PGAS003"]
+
+    def test_names_constant_fine(self):
+        assert codes("stats.count(names.UTS_STEAL_LOCAL)\n") == []
+
+    def test_non_stats_receiver_fine(self):
+        # Counter.count('x') and friends are not metric emitters
+        assert codes("tally.count('x')\n") == []
+
+
+class TestPGAS004PrivateData:
+    def test_data_poke_flagged(self):
+        assert codes("arr._data[0] = 1\n") == ["PGAS004"]
+
+    def test_accessor_module_exempt(self):
+        assert codes("self._data[0] = 1\n", "src/repro/upc/shared.py") == []
+
+
+class TestMechanics:
+    def test_noqa_suppresses(self):
+        assert codes("t = time.time()  # noqa: PGAS001\n") == []
+        # an unrelated code does not suppress
+        assert codes("t = time.time()  # noqa: PGAS002\n") == ["PGAS001"]
+
+    def test_syntax_error_reported(self):
+        assert codes("def f(:\n") == ["PGAS000"]
+
+    def test_violation_str_is_clickable(self):
+        (v,) = lint_source("t = time.time()\n", "a/b.py")
+        assert str(v).startswith("a/b.py:1:")
+        assert "PGAS001" in str(v)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("t = time.time()\n")
+        assert main([str(bad)]) == 1
+        assert "PGAS001" in capsys.readouterr().out
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main([str(good)]) == 0
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_findings(self):
+        # the CI gate (`python -m repro.analyze.lint src`), as a test
+        violations = lint_paths([SRC / "repro"])
+        assert violations == []

@@ -1,0 +1,65 @@
+"""PointerTable: build cost accounting and castability across topologies."""
+
+import pytest
+
+from repro.errors import UpcError
+from repro.upc.pointers import PointerTable
+from tests.upc.conftest import make_program
+
+
+def build_table(prog):
+    """Run PointerTable.build on every thread; return (tables, elapsed)."""
+    def main(upc):
+        t0 = upc.wtime()
+        table = yield from PointerTable.build(upc)
+        return table, upc.wtime() - t0
+
+    res = prog.run(main)
+    return [r[0] for r in res.returns], [r[1] for r in res.returns]
+
+
+class TestBuildCost:
+    def test_cost_is_one_round_per_reachable_peer(self):
+        # two nodes x two threads: each thread reaches itself + 1 peer
+        prog = make_program(threads=4, nodes=2, threads_per_node=2)
+        rt = prog.backend.shm_roundtrip
+        _tables, elapsed = build_table(prog)
+        assert elapsed == [pytest.approx(2 * rt)] * 4
+
+    def test_cost_scales_with_supernode_size(self):
+        prog = make_program(threads=4, nodes=1, threads_per_node=4)
+        rt = prog.backend.shm_roundtrip
+        _tables, elapsed = build_table(prog)
+        assert elapsed == [pytest.approx(4 * rt)] * 4
+
+    def test_degenerate_single_thread(self):
+        prog = make_program(threads=1, nodes=1, threads_per_node=1)
+        rt = prog.backend.shm_roundtrip
+        tables, elapsed = build_table(prog)
+        assert elapsed == [pytest.approx(rt)]
+        assert tables[0].castable(0) is True
+        assert tables[0].reachable_peers() == []
+
+
+class TestCastability:
+    def test_multi_node_shape(self):
+        prog = make_program(threads=4, nodes=2, threads_per_node=2)
+        tables, _ = build_table(prog)
+        assert [tables[1].castable(t) for t in range(4)] == [
+            True, True, False, False,
+        ]
+        assert tables[0].reachable_peers() == [1]
+        assert tables[2].reachable_peers() == [3]
+
+    def test_single_node_everyone_reachable(self):
+        prog = make_program(threads=4, nodes=1, threads_per_node=4)
+        tables, _ = build_table(prog)
+        for t, table in enumerate(tables):
+            assert all(table.castable(u) for u in range(4))
+            assert table.reachable_peers() == [u for u in range(4) if u != t]
+
+    def test_unknown_thread_raises(self):
+        prog = make_program(threads=2)
+        tables, _ = build_table(prog)
+        with pytest.raises(UpcError, match="unknown to pointer table"):
+            tables[0].castable(99)

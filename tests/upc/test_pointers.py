@@ -42,6 +42,39 @@ class TestSharedPointer:
         with pytest.raises(Exception):
             prog.run(main)
 
+    def test_arithmetic_bounds_checked(self):
+        prog = make_program(threads=2)
+
+        def main(upc):
+            arr = yield from upc.all_alloc(8)
+            p = SharedPointer(arr, 6)
+            try:
+                p + 2  # index 8: one past the end
+            except UpcError as exc:
+                assert "out of bounds" in str(exc)
+            else:
+                raise AssertionError("overflow unchecked")
+            try:
+                p - 7
+            except UpcError:
+                return "checked"
+            raise AssertionError("underflow unchecked")
+
+        assert prog.run(main).returns[0] == "checked"
+
+    def test_arithmetic_keeps_phase_consistent(self):
+        prog = make_program(threads=2)
+
+        def main(upc):
+            arr = yield from upc.all_alloc(12, blocksize=3)
+            p = SharedPointer(arr, 0)
+            # walking the pointer re-derives phase from the index, so it
+            # wraps at the blocksize exactly like upc_phaseof
+            return [((p + i).owner, (p + i).phase) for i in range(7)]
+
+        walk = prog.run(main).returns[0]
+        assert walk == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (0, 0)]
+
     def test_costed_deref_roundtrip(self):
         prog = make_program(threads=2)
 
@@ -118,6 +151,19 @@ class TestPrivatization:
 
         shared_time, cast_time = prog.run(main).returns[0]
         assert cast_time < shared_time
+
+    def test_local_pointer_sub_and_base_owner(self):
+        prog = make_program(threads=2)
+
+        def main(upc):
+            arr = yield from upc.all_alloc(8, blocksize="block")
+            lp = SharedPointer(arr, 4 * upc.MYTHREAD + 2).privatize(upc)
+            back = (lp + 1) - 2
+            return (back.index, back.base_owner)
+
+        res = prog.run(main)
+        assert res.returns[0] == (1, 0)
+        assert res.returns[1] == (5, 1)
 
     def test_local_pointer_arithmetic_bounds(self):
         prog = make_program(threads=2)

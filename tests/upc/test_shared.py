@@ -183,6 +183,50 @@ class TestCostedOps:
         res = prog.run(main)
         assert res.returns == [9.0, 9.0]
 
+    def test_put_block_rejects_scalar_data(self):
+        prog = make_program(threads=2)
+
+        def main(upc):
+            arr = yield from upc.all_alloc(8)
+            yield from arr.put_block(upc, 0, 8)  # value or count? neither.
+
+        with pytest.raises(Exception, match="scalar"):
+            prog.run(main)
+
+    def test_put_block_count_must_match_data(self):
+        prog = make_program(threads=2)
+
+        def main(upc):
+            arr = yield from upc.all_alloc(8)
+            yield from arr.put_block(upc, 0, [1.0, 2.0], count=3)
+
+        with pytest.raises(Exception, match="disagrees"):
+            prog.run(main)
+
+    def test_virtual_put_block_needs_explicit_count(self):
+        prog = make_program(threads=2)
+
+        def main(upc):
+            arr = yield from upc.all_alloc(8, backing="virtual")
+            yield from arr.put_block(upc, 0, 8)
+
+        with pytest.raises(Exception, match="explicit count="):
+            prog.run(main)
+
+    def test_virtual_put_block_with_count_charges_time(self):
+        prog = make_program(threads=2)
+
+        def main(upc):
+            arr = yield from upc.all_alloc(64, backing="virtual",
+                                           blocksize="block")
+            if upc.MYTHREAD == 0:
+                t0 = upc.wtime()
+                yield from arr.put_block(upc, 0, count=64)
+                return upc.wtime() - t0
+            yield from upc.compute(0.0)
+
+        assert prog.run(main).returns[0] > 0
+
     def test_remote_block_slower_than_local(self):
         def timed(local):
             prog = make_program(threads=2, nodes=2, threads_per_node=1)
