@@ -35,5 +35,50 @@ __all__ = [
     "nas_random",
     "run_exchange_only",
     "run_ft",
+    "run_request",
     "serial_ft",
 ]
+
+
+def run_request(spec) -> dict:
+    """Normalized campaign adapter for the FT app family.
+
+    ``spec.app`` selects the entry point: ``"ft"`` → :func:`run_ft`,
+    ``"ft.exchange"`` → :func:`run_exchange_only`.  Complex checksums
+    are re-encoded as ``[real, imag]`` pairs so the output dict is
+    JSON-exact, as the campaign cache and worker transport require.
+    """
+    x = spec.extras_dict()
+    if spec.app == "ft.exchange":
+        return run_exchange_only(
+            x.get("clazz", "B"),
+            threads=spec.threads,
+            threads_per_node=spec.threads_per_node,
+            threads_per_process=x.get("threads_per_process", 1),
+            pshm=x.get("pshm", True),
+            privatized=x.get("privatized", False),
+            asynchronous=x.get("asynchronous", False),
+            preset=spec.build_preset(),
+            conduit=spec.conduit,
+            repeats=x.get("repeats", 3),
+        )
+    if spec.app != "ft":
+        raise ValueError(f"unknown FT app {spec.app!r}")
+    out = run_ft(
+        x.get("clazz", "S"),
+        model=x.get("model", "upc"),
+        variant=x.get("variant", "split"),
+        threads=spec.threads,
+        threads_per_node=spec.threads_per_node,
+        threads_per_process=x.get("threads_per_process", 1),
+        omp_threads=x.get("omp_threads", 0),
+        subthread_runtime=x.get("subthread_runtime", "openmp"),
+        preset=spec.build_preset(),
+        conduit=spec.conduit,
+        iterations=x.get("iterations", 0),
+        backing=x.get("backing", "real"),
+        privatized=x.get("privatized", False),
+        asynchronous=x.get("asynchronous", False),
+    )
+    out["checksums"] = [[c.real, c.imag] for c in out["checksums"]]
+    return out

@@ -6,4 +6,31 @@ from repro.apps.microbench.multilink import (
     sweep_multilink,
 )
 
-__all__ = ["run_flood_bandwidth", "run_roundtrip_latency", "sweep_multilink"]
+__all__ = ["run_flood_bandwidth", "run_request", "run_roundtrip_latency",
+           "sweep_multilink"]
+
+
+def run_request(spec) -> dict:
+    """Normalized campaign adapter for the multi-link microbenchmarks.
+
+    ``spec.app`` selects the panel: ``"microbench.latency"`` →
+    :func:`run_roundtrip_latency`, ``"microbench.bandwidth"`` →
+    :func:`run_flood_bandwidth`.  The per-size dict (integer keys,
+    which JSON would stringify) is re-encoded as ordered ``[size,
+    value]`` pairs under ``"by_size"`` so the output is JSON-exact.
+    """
+    x = spec.extras_dict()
+    common = dict(
+        link_pairs=x["link_pairs"],
+        backend=x["backend"],
+        sizes=x["sizes"],
+        preset=spec.build_preset(),
+        conduit=spec.conduit,
+    )
+    if spec.app == "microbench.latency":
+        by_size = run_roundtrip_latency(**common)
+    elif spec.app == "microbench.bandwidth":
+        by_size = run_flood_bandwidth(**common)
+    else:
+        raise ValueError(f"unknown microbench app {spec.app!r}")
+    return {"by_size": [[size, value] for size, value in by_size.items()]}

@@ -10,4 +10,40 @@
 from repro.apps.stream.twisted import TWISTED_VARIANTS, run_twisted
 from repro.apps.stream.hybrid import run_hybrid_stream, run_pure
 
-__all__ = ["TWISTED_VARIANTS", "run_twisted", "run_hybrid_stream", "run_pure"]
+__all__ = ["TWISTED_VARIANTS", "run_request", "run_twisted",
+           "run_hybrid_stream", "run_pure"]
+
+
+def run_request(spec) -> dict:
+    """Normalized campaign adapter for the STREAM app family.
+
+    ``spec.app`` selects the entry point: ``"stream.twisted"`` (Table
+    3.1 variants; ``spec.policy`` names the variant),
+    ``"stream.pure"`` (pure UPC/OpenMP; ``spec.policy`` is the model)
+    or ``"stream.hybrid"`` (UPC×OpenMP placement rows).
+    """
+    x = spec.extras_dict()
+    preset = spec.build_preset()
+    if spec.app == "stream.twisted":
+        return run_twisted(
+            spec.policy,
+            preset=preset,
+            threads=spec.threads,
+            elements_per_thread=x["elements_per_thread"],
+        )
+    if spec.app == "stream.pure":
+        return run_pure(
+            spec.policy,
+            preset=preset,
+            threads=spec.threads or 8,
+            elements_per_thread=x["elements_per_thread"],
+        )
+    if spec.app == "stream.hybrid":
+        return run_hybrid_stream(
+            x["upc_threads"],
+            x["omp_threads"],
+            bound=x.get("bound", True),
+            preset=preset,
+            total_elements=x["total_elements"],
+        )
+    raise ValueError(f"unknown STREAM app {spec.app!r}")

@@ -25,6 +25,28 @@ __all__ = [
     "count_tree",
     "expand",
     "paper_tree",
+    "run_request",
     "run_uts",
     "small_tree",
 ]
+
+
+def run_request(spec) -> dict:
+    """Normalized campaign adapter: one ``RunSpec`` → :func:`run_uts`.
+
+    Extras: ``tree`` ("paper" or a :func:`small_tree` target name) and
+    ``steal_chunk``.  The output dict is JSON-exact, as the campaign
+    cache and worker transport require.
+    """
+    tree_name = spec.extra("tree", "small")
+    tree = paper_tree() if tree_name == "paper" else small_tree(tree_name)
+    return run_uts(
+        spec.policy or "baseline",
+        tree=tree,
+        threads=spec.threads,
+        threads_per_node=spec.threads_per_node,
+        conduit=spec.conduit,
+        steal_chunk=spec.extra("steal_chunk", 8),
+        preset=spec.build_preset(),
+        faults=spec.faults or None,
+    )

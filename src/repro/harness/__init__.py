@@ -30,3 +30,18 @@ __all__ = [
     "get_experiment",
     "run_experiment",
 ]
+
+from repro.harness.campaign import Campaign  # noqa: E402
+from repro.harness.cache import ResultCache  # noqa: E402
+from repro.harness.executor import InlineExecutor, ParallelExecutor  # noqa: E402
+from repro.harness.spec import RunSpec, Sweep, threads_per_node  # noqa: E402
+
+__all__ += [
+    "Campaign",
+    "InlineExecutor",
+    "ParallelExecutor",
+    "ResultCache",
+    "RunSpec",
+    "Sweep",
+    "threads_per_node",
+]

@@ -8,6 +8,8 @@ Examples::
     python -m repro.harness r1 --faults "crash:node=2,at=5e-5;seed=7"
     python -m repro.harness run f4_2 --scale quick --trace /tmp/t.json
     python -m repro.harness f4_2 --report-breakdown
+    python -m repro.harness f3_3 --jobs 4
+    python -m repro.harness --all --no-cache
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ import sys
 import time
 
 from repro.errors import FaultError
+from repro.harness.cache import DEFAULT_CACHE_DIR
 from repro.harness.runner import EXPERIMENTS, run_experiment
 
 
@@ -46,7 +49,20 @@ def main(argv=None) -> int:
                         help="arm the dynamic PGAS sanitizer (repro.analyze): "
                              "race, privatization-legality and collective-"
                              "matching checks; any finding fails the run")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run independent simulation points across N "
+                             "worker processes (default 1: inline, "
+                             "byte-identical to the historical reports)")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help="content-addressed result cache location "
+                             f"(default {DEFAULT_CACHE_DIR}); already-"
+                             "computed points are skipped on re-runs")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache (every point runs)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     # `run` compat: accept `python -m repro.harness run f4_2` like the
     # docs' short form `python -m repro.harness f4_2`.
@@ -54,9 +70,9 @@ def main(argv=None) -> int:
         args.experiments = args.experiments[1:]
 
     if args.list:
+        # static titles: no heavy experiment-module imports for a listing
         for eid in EXPERIMENTS.ids():
-            exp = EXPERIMENTS.get(eid)
-            print(f"{eid:6s} {exp.title}")
+            print(f"{eid:6s} {EXPERIMENTS.title(eid)}")
         return 0
 
     ids = EXPERIMENTS.ids() if args.all else args.experiments
@@ -73,7 +89,8 @@ def main(argv=None) -> int:
             result = run_experiment(
                 eid, scale=args.scale, faults=args.faults,
                 trace_path=args.trace, breakdown=args.report_breakdown,
-                sanitize=args.sanitize,
+                sanitize=args.sanitize, jobs=args.jobs,
+                cache_dir=None if args.no_cache else args.cache_dir,
             )
         except FaultError as exc:
             parser.error(f"--faults: {exc}")

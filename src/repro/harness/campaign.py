@@ -1,0 +1,102 @@
+"""Campaigns: Spec → Plan → Execute → Collate.
+
+A :class:`Campaign` binds one experiment's declarative point list to an
+executor and an optional result cache:
+
+1. **Spec** — the experiment's ``points(scale)`` declares *what to run*
+   as an ordered list of :class:`~repro.harness.spec.RunSpec`.
+2. **Plan** — cached points are resolved to stored outputs; only the
+   misses go to the executor.
+3. **Execute** — the executor (inline or process pool) runs the misses
+   and returns outputs in spec order; fresh outputs are written back to
+   the cache.
+4. **Collate** — the experiment's ``collate(scale, outputs)`` folds the
+   ordered outputs into an :class:`~repro.harness.reporting.ExperimentResult`.
+
+Because every point is a pure function of its spec, the collated result
+is independent of scheduling and of the cache's hit pattern; only the
+campaign counters (surfaced on the result when a cache is in play)
+differ between a cold and a warm run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.harness.cache import ResultCache
+from repro.harness.executor import ExecutionBatch, make_executor
+from repro.harness.spec import RunSpec
+
+__all__ = ["Campaign", "CampaignOutcome"]
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything one campaign run produced."""
+
+    result: Any                              #: the collated ExperimentResult
+    specs: List[RunSpec] = field(default_factory=list)
+    batch: ExecutionBatch = field(default_factory=ExecutionBatch)
+    cache_hits: int = 0
+    executed: int = 0
+
+    @property
+    def points(self) -> int:
+        return len(self.specs)
+
+
+class Campaign:
+    """One experiment bound to an executor and an optional cache."""
+
+    def __init__(self, experiment, scale: str = "quick", faults=None,
+                 executor=None, cache: Optional[ResultCache] = None,
+                 jobs: int = 1):
+        self.experiment = experiment
+        self.scale = scale
+        self.faults = faults
+        self.executor = executor if executor is not None else make_executor(jobs)
+        self.cache = cache
+
+    def plan(self) -> List[RunSpec]:
+        """The ordered point list this campaign will resolve."""
+        if self.experiment.accepts_faults:
+            return list(self.experiment.points(self.scale, faults=self.faults))
+        return list(self.experiment.points(self.scale))
+
+    def run(self, *, trace: bool = False, sanitize: bool = False) -> CampaignOutcome:
+        specs = self.plan()
+        outputs: List[Optional[Dict[str, Any]]] = [None] * len(specs)
+        pending: List[int] = []
+        hits = 0
+        # Tracers and findings exist only on fresh executions, so an
+        # observed campaign bypasses cache reads (a hit would silently
+        # drop that point from the trace); it still writes, so the next
+        # un-observed run starts warm.
+        use_cached = self.cache is not None and not (trace or sanitize)
+        for i, spec in enumerate(specs):
+            cached = self.cache.get(spec) if use_cached else None
+            if cached is not None:
+                outputs[i] = cached
+                hits += 1
+            else:
+                pending.append(i)
+        batch = self.executor.run([specs[i] for i in pending],
+                                  trace=trace, sanitize=sanitize)
+        for i, output in zip(pending, batch.outputs):
+            outputs[i] = output
+            if self.cache is not None:
+                self.cache.put(specs[i], output)
+        if self.experiment.accepts_faults:
+            result = self.experiment.collate(self.scale, outputs,
+                                             faults=self.faults)
+        else:
+            result = self.experiment.collate(self.scale, outputs)
+        if self.cache is not None:
+            result.campaign = {
+                "points": len(specs),
+                "executed": len(pending),
+                "cache_hits": hits,
+            }
+        return CampaignOutcome(result=result, specs=specs, batch=batch,
+                               cache_hits=hits, executed=len(pending))

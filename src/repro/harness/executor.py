@@ -1,0 +1,176 @@
+"""Executors: the *how to schedule it* half of the campaign pipeline.
+
+An executor takes an ordered list of :class:`~repro.harness.spec.RunSpec`
+points and returns their outputs **in the same order**, plus any
+observability payloads (tracers, sanitizer findings) the caller asked
+for.  Two implementations share that contract:
+
+* :class:`InlineExecutor` — runs every point in this process, one after
+  the other; exactly the historical harness behavior (and the only mode
+  in which a single trace session spans the whole campaign in one go).
+* :class:`ParallelExecutor` — fans independent points across a
+  ``ProcessPoolExecutor``.  Each worker runs its point inside its own
+  trace/sanitize session and ships the finished tracers (detached from
+  their simulator) and finding rows back through pickle; the parent
+  re-numbers tracer ``run_index`` in spec order so exports are
+  byte-identical to an inline run.
+
+Every simulation point is a pure function of its spec (fixed seeds, no
+wall-clock reads), so scheduling cannot change results — only wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.harness.spec import RunSpec
+
+__all__ = [
+    "ExecutionBatch",
+    "InlineExecutor",
+    "ParallelExecutor",
+    "execute_spec",
+    "make_executor",
+]
+
+#: app id prefix -> package exposing the normalized ``run_request`` adapter
+_ADAPTER_PACKAGES = {
+    "uts": "repro.apps.uts",
+    "ft": "repro.apps.ft",
+    "stream": "repro.apps.stream",
+    "microbench": "repro.apps.microbench",
+}
+
+
+def execute_spec(spec: RunSpec) -> Dict[str, Any]:
+    """Run one simulation point via its app's ``run_request`` adapter."""
+    import importlib
+
+    prefix = spec.app.split(".", 1)[0]
+    package = _ADAPTER_PACKAGES.get(prefix)
+    if package is None:
+        raise ValueError(
+            f"no adapter for app {spec.app!r}; known: {sorted(_ADAPTER_PACKAGES)}"
+        )
+    module = importlib.import_module(package)
+    return module.run_request(spec)
+
+
+@dataclass
+class ExecutionBatch:
+    """Outputs (in spec order) plus observability payloads of one batch."""
+
+    outputs: List[Dict[str, Any]] = field(default_factory=list)
+    #: finished tracers from every simulated run, in spec order
+    #: (empty unless the batch was traced).
+    tracers: List[Any] = field(default_factory=list)
+    #: sanitizer finding rows, in spec order (empty unless sanitized).
+    findings: List[Dict[str, Any]] = field(default_factory=list)
+    #: how many sanitizers were armed (== simulated runs when sanitizing).
+    sanitizer_runs: int = 0
+
+
+class InlineExecutor:
+    """Sequential in-process execution — the historical harness path."""
+
+    jobs = 1
+
+    def run(self, specs: Sequence[RunSpec], *, trace: bool = False,
+            sanitize: bool = False) -> ExecutionBatch:
+        from contextlib import ExitStack
+
+        batch = ExecutionBatch()
+        if not specs:
+            return batch
+        with ExitStack() as stack:
+            san_session = None
+            if sanitize:
+                from repro.analyze.sanitizer import sanitize_session
+
+                san_session = stack.enter_context(sanitize_session("campaign"))
+            session = None
+            if trace:
+                from repro.obs.session import trace_session
+
+                session = stack.enter_context(trace_session("campaign"))
+            for spec in specs:
+                batch.outputs.append(execute_spec(spec))
+        if session is not None:
+            batch.tracers = list(session.tracers)
+        if san_session is not None:
+            batch.findings = [f.row() for f in san_session.findings]
+            batch.sanitizer_runs = len(san_session.sanitizers)
+        return batch
+
+
+def _run_point(args) -> Dict[str, Any]:
+    """Worker entry: one spec inside its own trace/sanitize sessions.
+
+    Returns a picklable payload; tracers are detached from their
+    simulator (``sim`` holds generators, which cannot cross a process
+    boundary) — everything the exporter and critical-path attribution
+    read is already materialized in the tracer's own lists.
+    """
+    spec, trace, sanitize = args
+    from contextlib import ExitStack
+
+    payload: Dict[str, Any] = {"tracers": [], "findings": [],
+                               "sanitizer_runs": 0}
+    with ExitStack() as stack:
+        san_session = None
+        if sanitize:
+            from repro.analyze.sanitizer import sanitize_session
+
+            san_session = stack.enter_context(sanitize_session(spec.app))
+        session = None
+        if trace:
+            from repro.obs.session import trace_session
+
+            session = stack.enter_context(trace_session(spec.app))
+        payload["output"] = execute_spec(spec)
+    if session is not None:
+        for tracer in session.tracers:
+            tracer.sim = None
+        payload["tracers"] = list(session.tracers)
+    if san_session is not None:
+        payload["findings"] = [f.row() for f in san_session.findings]
+        payload["sanitizer_runs"] = len(san_session.sanitizers)
+    return payload
+
+
+class ParallelExecutor:
+    """Fan independent points across worker processes (``--jobs N``)."""
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, specs: Sequence[RunSpec], *, trace: bool = False,
+            sanitize: bool = False) -> ExecutionBatch:
+        if not specs:
+            return ExecutionBatch()
+        from concurrent.futures import ProcessPoolExecutor
+
+        batch = ExecutionBatch()
+        workers = min(self.jobs, len(specs))
+        tasks = [(spec, trace, sanitize) for spec in specs]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # map() yields in submission order: deterministic spec order
+            # regardless of which worker finishes first.
+            for payload in pool.map(_run_point, tasks):
+                batch.outputs.append(payload["output"])
+                batch.tracers.extend(payload["tracers"])
+                batch.findings.extend(payload["findings"])
+                batch.sanitizer_runs += payload["sanitizer_runs"]
+        # Re-number the merged tracers so exports are byte-identical to
+        # an inline run's single session (run_index is lane-ordering).
+        for index, tracer in enumerate(batch.tracers, start=1):
+            tracer.run_index = index
+        return batch
+
+
+def make_executor(jobs: int = 1):
+    """The executor for a job count: inline at 1, process pool above."""
+    return InlineExecutor() if jobs <= 1 else ParallelExecutor(jobs)

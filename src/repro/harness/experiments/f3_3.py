@@ -9,34 +9,40 @@ rising to 128 processors.
 
 from __future__ import annotations
 
-from repro.apps.uts import paper_tree, run_uts, small_tree
 from repro.harness.reporting import ExperimentResult
 from repro.harness.runner import Experiment
-from repro.machine.presets import pyramid
+from repro.harness.spec import Sweep, threads_per_node
 
 _POLICIES = ("baseline", "local", "local+diffusion")
+_NODES = 16
 
 
-def run(scale: str) -> ExperimentResult:
+def _params(scale: str):
     if scale == "paper":
-        tree = paper_tree()
-        thread_counts = (16, 32, 64, 128)
-        nodes = 16
-    else:
-        tree = small_tree("large")
-        thread_counts = (16, 32, 64)
-        nodes = 16
+        return "paper", (16, 32, 64, 128)
+    return "large", (16, 32, 64)
+
+
+def points(scale: str) -> list:
+    tree, thread_counts = _params(scale)
+    return (
+        Sweep("uts", scale=scale, preset="pyramid", nodes=_NODES, tree=tree)
+        .over("net", [{"conduit": "ib-ddr", "steal_chunk": 8},
+                      {"conduit": "gige", "steal_chunk": 20}])
+        .over("policy", _POLICIES)
+        .over("threads", thread_counts)
+        .derive(lambda s: {
+            "threads_per_node": threads_per_node(s.threads, _NODES)})
+        .build()
+    )
+
+
+def collate(scale: str, outputs: list) -> ExperimentResult:
+    _tree, thread_counts = _params(scale)
     series: dict = {}
-    for conduit, chunk in (("ib-ddr", 8), ("gige", 20)):
-        for policy in _POLICIES:
-            key = f"{conduit}:{policy}"
-            series[key] = {}
-            for threads in thread_counts:
-                r = run_uts(policy, tree=tree, threads=threads,
-                            threads_per_node=max(1, threads // nodes),
-                            conduit=conduit, steal_chunk=chunk,
-                            preset=pyramid(nodes=nodes))
-                series[key][threads] = round(r["mnodes_per_s"], 1)
+    for spec, r in zip(points(scale), outputs):
+        key = f"{spec.conduit}:{spec.policy}"
+        series.setdefault(key, {})[spec.threads] = round(r["mnodes_per_s"], 1)
     result = ExperimentResult(
         experiment_id="f3_3",
         title="Fig 3.3 - UTS parallel scalability (Mnodes/s)",
@@ -70,4 +76,4 @@ def run(scale: str) -> ExperimentResult:
     return result
 
 
-EXPERIMENT = Experiment("f3_3", "Fig 3.3 - UTS scalability", run)
+EXPERIMENT = Experiment("f3_3", "Fig 3.3 - UTS scalability", points, collate)

@@ -10,10 +10,9 @@ improvements growing with threads per node.
 
 from __future__ import annotations
 
-from repro.apps.ft import run_exchange_only
 from repro.harness.reporting import ExperimentResult
 from repro.harness.runner import Experiment
-from repro.machine.presets import lehman
+from repro.harness.spec import RunSpec
 
 _VARIANTS = (
     ("base", dict(pshm=False, threads_per_process=1, privatized=False)),
@@ -23,20 +22,20 @@ _VARIANTS = (
     ("pthreads+cast", dict(pshm=False, privatized=True)),
 )
 
+_NODES = 4
 
-def run(scale: str) -> ExperimentResult:
-    nodes = 4
+
+def _params(scale: str):
     if scale == "paper":
-        thread_counts = (4, 8, 16, 32, 64)
-        repeats = 3
-    else:
-        thread_counts = (4, 8, 16)
-        repeats = 1
-    rows = []
-    improvement: dict = {name: {} for name, _ in _VARIANTS if name != "base"}
+        return (4, 8, 16, 32, 64), 3
+    return (4, 8, 16), 1
+
+
+def _cases(scale: str):
+    """(threads, asynchronous, variant name, spec), in sweep order."""
+    thread_counts, repeats = _params(scale)
     for threads in thread_counts:
-        tpn = threads // nodes
-        times = {}
+        tpn = threads // _NODES
         for asynchronous in (False, True):
             for name, kw in _VARIANTS:
                 kw = dict(kw)
@@ -44,21 +43,36 @@ def run(scale: str) -> ExperimentResult:
                     if tpn < 2:
                         continue  # pthreads needs >1 thread per process
                     kw["threads_per_process"] = tpn
-                r = run_exchange_only(
-                    "B", threads=threads, threads_per_node=tpn,
+                spec = RunSpec.make(
+                    "ft.exchange", scale=scale, preset="lehman", nodes=_NODES,
+                    threads=threads, threads_per_node=tpn, clazz="B",
                     asynchronous=asynchronous, repeats=repeats,
-                    preset=lehman(nodes=nodes), **kw,
+                    variant=name, **kw,
                 )
-                times[(name, asynchronous)] = r["exchange_s"]
+                yield threads, asynchronous, name, spec
+
+
+def points(scale: str) -> list:
+    return [spec for *_meta, spec in _cases(scale)]
+
+
+def collate(scale: str, outputs: list) -> ExperimentResult:
+    thread_counts, _repeats = _params(scale)
+    times: dict = {}
+    for (threads, asynchronous, name, _spec), r in zip(_cases(scale), outputs):
+        times[(threads, name, asynchronous)] = r["exchange_s"]
+    rows = []
+    improvement: dict = {name: {} for name, _ in _VARIANTS if name != "base"}
+    for threads in thread_counts:
         for asynchronous in (False, True):
-            base = times.get(("base", asynchronous))
+            base = times.get((threads, "base", asynchronous))
             for name, _kw in _VARIANTS:
-                t = times.get((name, asynchronous))
+                t = times.get((threads, name, asynchronous))
                 if t is None or name == "base":
                     continue
                 gain = 100.0 * (base / t - 1.0)
                 rows.append({
-                    "Threads": f"{threads}({nodes}x{tpn})",
+                    "Threads": f"{threads}({_NODES}x{threads // _NODES})",
                     "Mode": "async" if asynchronous else "blocking",
                     "Variant": name,
                     "Exchange (s)": round(t, 4),
@@ -99,4 +113,5 @@ def run(scale: str) -> ExperimentResult:
     return result
 
 
-EXPERIMENT = Experiment("f3_4", "Fig 3.4 - FT all-to-all optimizations", run)
+EXPERIMENT = Experiment("f3_4", "Fig 3.4 - FT all-to-all optimizations",
+                        points, collate)

@@ -9,13 +9,12 @@ less bandwidth and their latency serializes.
 
 from __future__ import annotations
 
-from repro.apps.microbench import sweep_multilink
 from repro.harness.reporting import ExperimentResult
 from repro.harness.runner import Experiment
-from repro.machine.presets import lehman
+from repro.harness.spec import RunSpec
 
 
-def run(scale: str) -> ExperimentResult:
+def _params(scale: str):
     if scale == "paper":
         pair_counts = (1, 2, 4, 8)
         lat_sizes = tuple(1 << k for k in range(0, 16, 2))
@@ -24,16 +23,42 @@ def run(scale: str) -> ExperimentResult:
         pair_counts = (1, 2, 4)
         lat_sizes = (8, 1 << 10, 16 << 10)
         bw_sizes = (1 << 10, 64 << 10, 1 << 20)
-    out = sweep_multilink(
-        pair_counts=pair_counts,
-        latency_sizes=lat_sizes,
-        bandwidth_sizes=bw_sizes,
-        preset=lehman(nodes=2),
-    )
+    return pair_counts, lat_sizes, bw_sizes
+
+
+def _cases(scale: str):
+    """(panel, series key, spec) per combo — sweep_multilink's order.
+
+    The 1-link series is backend-independent (a single thread per node),
+    so it is measured once and keyed "single", as in the figure.
+    """
+    pair_counts, lat_sizes, bw_sizes = _params(scale)
+    for panel, sizes in (("latency", lat_sizes), ("bandwidth", bw_sizes)):
+        for backend in ("processes", "pthreads"):
+            for pairs in pair_counts:
+                if pairs == 1 and backend != "processes":
+                    continue
+                key = (pairs, backend if pairs > 1 else "single")
+                spec = RunSpec.make(
+                    f"microbench.{panel}", scale=scale, preset="lehman",
+                    nodes=2, link_pairs=pairs, backend=backend, sizes=sizes,
+                )
+                yield panel, key, spec
+
+
+def points(scale: str) -> list:
+    return [spec for *_meta, spec in _cases(scale)]
+
+
+def collate(scale: str, outputs: list) -> ExperimentResult:
+    pair_counts, lat_sizes, _bw = _params(scale)
+    panels: dict = {"latency": {}, "bandwidth": {}}
+    for (panel, key, _spec), r in zip(_cases(scale), outputs):
+        panels[panel][key] = {size: value for size, value in r["by_size"]}
     series = {}
-    for (pairs, backend), ys in out["latency_us"].items():
+    for (pairs, backend), ys in panels["latency"].items():
         series[f"lat_us {pairs}-{backend}"] = {s: round(v, 2) for s, v in ys.items()}
-    for (pairs, backend), ys in out["bandwidth_mbs"].items():
+    for (pairs, backend), ys in panels["bandwidth"].items():
         series[f"bw_MB/s {pairs}-{backend}"] = {s: round(v) for s, v in ys.items()}
     result = ExperimentResult(
         experiment_id="f4_2",
@@ -48,27 +73,28 @@ def run(scale: str) -> ExperimentResult:
         ],
     )
     fails = result.shape_failures
-    lat1 = out["latency_us"][(1, "single")]
+    lat1 = panels["latency"][(1, "single")]
     small = min(lat1)
     if not 2.0 < lat1[small] < 8.0:
         fails.append(f"1-link small-message RTT {lat1[small]:.1f} us outside 2-8")
-    bw1 = out["bandwidth_mbs"][(1, "single")]
+    bw1 = panels["bandwidth"][(1, "single")]
     big = max(bw1)
     if not 1100 < bw1[big] < 1700:
         fails.append(f"1-link flood {bw1[big]:.0f} MB/s outside 1100-1700")
     biggest_pairs = pair_counts[-1]
-    bw_proc = out["bandwidth_mbs"][(biggest_pairs, "processes")][big]
-    bw_pthr = out["bandwidth_mbs"][(biggest_pairs, "pthreads")][big]
+    bw_proc = panels["bandwidth"][(biggest_pairs, "processes")][big]
+    bw_pthr = panels["bandwidth"][(biggest_pairs, "pthreads")][big]
     if bw_proc <= bw1[big] * 1.2:
         fails.append("multiple process links should beat a single link")
     if bw_pthr >= bw_proc:
         fails.append("pthread pairs should extract less than process pairs")
-    lat_proc = out["latency_us"][(biggest_pairs, "processes")]
-    lat_pthr = out["latency_us"][(biggest_pairs, "pthreads")]
+    lat_proc = panels["latency"][(biggest_pairs, "processes")]
+    lat_pthr = panels["latency"][(biggest_pairs, "pthreads")]
     mid = max(lat_sizes)
     if lat_pthr[mid] <= lat_proc[mid]:
         fails.append("pthread latency should serialize above process latency")
     return result
 
 
-EXPERIMENT = Experiment("f4_2", "Fig 4.2 - Multi-link microbenchmark", run)
+EXPERIMENT = Experiment("f4_2", "Fig 4.2 - Multi-link microbenchmark",
+                        points, collate)

@@ -11,34 +11,44 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.apps.ft import run_ft
 from repro.harness.reporting import ExperimentResult
 from repro.harness.runner import Experiment
-from repro.machine.presets import lehman
+from repro.harness.spec import Sweep, threads_per_node
 
 _PHASES = ("evolve", "transpose", "fft1d", "fft2d")
+_NODES = 8
 
 
-def run(scale: str) -> ExperimentResult:
-    nodes = 8
+def _params(scale: str):
     if scale == "paper":
-        thread_counts = (1, 2, 4, 8, 16, 32, 64, 128)
-        iterations = 5
-    else:
-        thread_counts = (1, 2, 4, 8, 16, 32)
-        iterations = 2
+        return (1, 2, 4, 8, 16, 32, 64, 128), 5
+    return (1, 2, 4, 8, 16, 32), 2
+
+
+def points(scale: str) -> list:
+    thread_counts, iterations = _params(scale)
+    return (
+        Sweep("ft", scale=scale, preset="lehman", nodes=_NODES, clazz="B",
+              model="upc", backing="virtual", iterations=iterations)
+        .over("threads", thread_counts)
+        .over("variant", ("split", "overlap"))
+        .derive(lambda s: {
+            "threads_per_node": threads_per_node(s.threads, _NODES)})
+        .build()
+    )
+
+
+def collate(scale: str, outputs: list) -> ExperimentResult:
+    thread_counts, _iterations = _params(scale)
+    by_key = {(spec.threads, spec.extra("variant")): out
+              for spec, out in zip(points(scale), outputs)}
     base: Dict[str, float] = {}
     series: Dict[str, Dict] = {p: {} for p in _PHASES}
     series["alltoall (split)"] = {}
     series["alltoall (overlap)"] = {}
     for threads in thread_counts:
-        tpn = max(1, threads // nodes)
-        split = run_ft("B", model="upc", variant="split", threads=threads,
-                       threads_per_node=tpn, preset=lehman(nodes=nodes),
-                       backing="virtual", iterations=iterations)
-        over = run_ft("B", model="upc", variant="overlap", threads=threads,
-                      threads_per_node=tpn, preset=lehman(nodes=nodes),
-                      backing="virtual", iterations=iterations)
+        split = by_key[(threads, "split")]
+        over = by_key[(threads, "overlap")]
         if threads == thread_counts[0]:
             for p in _PHASES:
                 base[p] = split["phases"][p]
@@ -84,7 +94,7 @@ def run(scale: str) -> ExperimentResult:
         if sp < 0.4 * ncores:
             fails.append(f"{p} speedup {sp} at {ncores} threads too low")
     a2a = series["alltoall (split)"]
-    knee = max(k for k in a2a if k <= nodes * 2)
+    knee = max(k for k in a2a if k <= _NODES * 2)
     if a2a[top] > 1.6 * a2a[knee]:
         fails.append("all-to-all should saturate near 2 threads/node")
     over = series["alltoall (overlap)"]
@@ -97,4 +107,5 @@ def run(scale: str) -> ExperimentResult:
     return result
 
 
-EXPERIMENT = Experiment("f4_4", "Fig 4.4 - FT runtime breakdown", run)
+EXPERIMENT = Experiment("f4_4", "Fig 4.4 - FT runtime breakdown",
+                        points, collate)

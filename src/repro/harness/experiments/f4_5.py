@@ -13,57 +13,66 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.apps.ft import run_ft
 from repro.harness.reporting import ExperimentResult
 from repro.harness.runner import Experiment
-from repro.machine.presets import lehman, pyramid
+from repro.harness.spec import RunSpec, threads_per_node
 
 _MODELS = ("mpi", "upc-processes", "upc-pthreads", "upc-hybrid")
 
 
-def _comm_time(model: str, cores: int, nodes: int, preset, iterations: int) -> float:
-    tpn = max(1, cores // nodes)
+def _params(scale: str):
+    if scale == "paper":
+        return [("Lehman", "lehman", 8, (8, 16, 32, 64, 128)),
+                ("Pyramid", "pyramid", 16, (16, 32, 64, 128))], 20
+    return [("Lehman", "lehman", 8, (8, 16, 32))], 5
+
+
+def _spec(model: str, cores: int, preset: str, nodes: int,
+          iterations: int, scale: str) -> RunSpec:
+    tpn = threads_per_node(cores, nodes)
+    base = dict(scale=scale, preset=preset, nodes=nodes, clazz="B",
+                backing="virtual", iterations=iterations)
     if model == "mpi":
-        r = run_ft("B", model="mpi", threads=cores, threads_per_node=tpn,
-                   preset=preset, backing="virtual", iterations=iterations)
-    elif model == "upc-processes":
-        r = run_ft("B", model="upc", variant="split", threads=cores,
-                   threads_per_node=tpn, preset=preset, backing="virtual",
-                   iterations=iterations)
-    elif model == "upc-pthreads":
-        r = run_ft("B", model="upc", variant="split", threads=cores,
-                   threads_per_node=tpn, threads_per_process=tpn,
-                   preset=preset, backing="virtual", iterations=iterations)
-    elif model == "upc-hybrid":
+        return RunSpec.make("ft", model="mpi", threads=cores,
+                            threads_per_node=tpn, **base)
+    if model == "upc-processes":
+        return RunSpec.make("ft", model="upc", variant="split", threads=cores,
+                            threads_per_node=tpn, **base)
+    if model == "upc-pthreads":
+        return RunSpec.make("ft", model="upc", variant="split", threads=cores,
+                            threads_per_node=tpn, threads_per_process=tpn,
+                            **base)
+    if model == "upc-hybrid":
         # best-practice hybrid: 2 masters per node, sub-threads fill the rest
         masters_per_node = min(2, tpn)
         omp = max(1, tpn // masters_per_node)
-        r = run_ft("B", model="upc", variant="split",
-                   threads=nodes * masters_per_node,
-                   threads_per_node=masters_per_node, omp_threads=omp,
-                   preset=preset, backing="virtual", iterations=iterations)
-    else:
-        raise ValueError(model)
-    return r["comm_s"]
+        return RunSpec.make("ft", model="upc", variant="split",
+                            threads=nodes * masters_per_node,
+                            threads_per_node=masters_per_node,
+                            omp_threads=omp, **base)
+    raise ValueError(model)
 
 
-def run(scale: str) -> ExperimentResult:
-    if scale == "paper":
-        platforms = [("Lehman", lehman(nodes=8), 8, (8, 16, 32, 64, 128)),
-                     ("Pyramid", pyramid(nodes=16), 16, (16, 32, 64, 128))]
-        iterations = 20
-    else:
-        platforms = [("Lehman", lehman(nodes=8), 8, (8, 16, 32))]
-        iterations = 5
-    series: Dict[str, Dict] = {}
+def _cases(scale: str):
+    platforms, iterations = _params(scale)
     for plat_name, preset, nodes, core_counts in platforms:
         for model in _MODELS:
-            key = f"{plat_name}:{model}"
-            series[key] = {}
             for cores in core_counts:
-                series[key][cores] = round(
-                    _comm_time(model, cores, nodes, preset, iterations), 3
-                )
+                yield plat_name, model, cores, _spec(
+                    model, cores, preset, nodes, iterations, scale)
+
+
+def points(scale: str) -> list:
+    return [spec for *_meta, spec in _cases(scale)]
+
+
+def collate(scale: str, outputs: list) -> ExperimentResult:
+    platforms, _iterations = _params(scale)
+    series: Dict[str, Dict] = {}
+    for (plat_name, model, cores, _spec_), r in zip(_cases(scale), outputs):
+        series.setdefault(f"{plat_name}:{model}", {})[cores] = round(
+            r["comm_s"], 3
+        )
     result = ExperimentResult(
         experiment_id="f4_5",
         title="Fig 4.5 - FT split-phase communication time (s)",
@@ -105,4 +114,5 @@ def run(scale: str) -> ExperimentResult:
     return result
 
 
-EXPERIMENT = Experiment("f4_5", "Fig 4.5 - FT communication time", run)
+EXPERIMENT = Experiment("f4_5", "Fig 4.5 - FT communication time",
+                        points, collate)

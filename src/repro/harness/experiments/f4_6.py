@@ -13,57 +13,66 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.apps.ft import run_ft
 from repro.harness.reporting import ExperimentResult
 from repro.harness.runner import Experiment
-from repro.machine.presets import lehman
+from repro.harness.spec import RunSpec, threads_per_node
 
 _NODES = 8
 
 
-def _elapsed(variant: str, flavor: str, cores: int, iterations: int) -> float:
-    preset = lehman(nodes=_NODES)
-    tpn = max(1, cores // _NODES)
-    common = dict(preset=preset, backing="virtual", iterations=iterations)
+def _params(scale: str):
+    if scale == "paper":
+        return ((8, 16, 32, 64, 128), ("split", "overlap"),
+                ("processes", "pthreads", "openmp", "cilk", "pool"), 10)
+    return ((8, 16, 32, 64), ("split",),
+            ("processes", "pthreads", "openmp", "cilk", "pool"), 3)
+
+
+def _spec(variant: str, flavor: str, cores: int, iterations: int,
+          scale: str) -> RunSpec:
+    tpn = threads_per_node(cores, _NODES)
+    base = dict(scale=scale, preset="lehman", nodes=_NODES, clazz="B",
+                model="upc", variant=variant, backing="virtual",
+                iterations=iterations)
     if flavor == "processes":
-        r = run_ft("B", model="upc", variant=variant, threads=cores,
-                   threads_per_node=tpn, **common)
-    elif flavor == "pthreads":
-        r = run_ft("B", model="upc", variant=variant, threads=cores,
-                   threads_per_node=tpn, threads_per_process=tpn, **common)
-    elif flavor in ("openmp", "cilk", "pool"):
+        return RunSpec.make("ft", threads=cores, threads_per_node=tpn, **base)
+    if flavor == "pthreads":
+        return RunSpec.make("ft", threads=cores, threads_per_node=tpn,
+                            threads_per_process=tpn, **base)
+    if flavor in ("openmp", "cilk", "pool"):
         masters_per_node = min(2, tpn)
         omp = max(1, tpn // masters_per_node)
-        r = run_ft("B", model="upc", variant=variant,
-                   threads=_NODES * masters_per_node,
-                   threads_per_node=masters_per_node,
-                   omp_threads=omp, subthread_runtime=flavor, **common)
-    else:
-        raise ValueError(flavor)
-    return r["elapsed_s"]
+        return RunSpec.make("ft", threads=_NODES * masters_per_node,
+                            threads_per_node=masters_per_node,
+                            omp_threads=omp, subthread_runtime=flavor, **base)
+    raise ValueError(flavor)
 
 
-def run(scale: str) -> ExperimentResult:
-    if scale == "paper":
-        core_counts = (8, 16, 32, 64, 128)
-        variants = ("split", "overlap")
-        flavors = ("processes", "pthreads", "openmp", "cilk", "pool")
-        iterations = 10
-    else:
-        core_counts = (8, 16, 32, 64)
-        variants = ("split",)
-        flavors = ("processes", "pthreads", "openmp", "cilk", "pool")
-        iterations = 3
-    series: Dict[str, Dict] = {}
-    rows = []
-    elapsed: Dict[tuple, float] = {}
+def _cases(scale: str):
+    """((variant, flavor, cores), spec); cores=1 rows are the speedup base."""
+    core_counts, variants, flavors, iterations = _params(scale)
     for variant in variants:
         for flavor in flavors:
             for cores in core_counts:
-                elapsed[(variant, flavor, cores)] = _elapsed(
-                    variant, flavor, cores, iterations
-                )
-        base1 = _elapsed(variant, "processes", 1, iterations)
+                yield (variant, flavor, cores), _spec(
+                    variant, flavor, cores, iterations, scale)
+        yield (variant, "processes", 1), _spec(
+            variant, "processes", 1, iterations, scale)
+
+
+def points(scale: str) -> list:
+    return [spec for _key, spec in _cases(scale)]
+
+
+def collate(scale: str, outputs: list) -> ExperimentResult:
+    core_counts, variants, flavors, _iterations = _params(scale)
+    elapsed: Dict[tuple, float] = {}
+    for (key, _spec_), r in zip(_cases(scale), outputs):
+        elapsed[key] = r["elapsed_s"]
+    series: Dict[str, Dict] = {}
+    rows = []
+    for variant in variants:
+        base1 = elapsed[(variant, "processes", 1)]
         for flavor in flavors:
             key = f"{variant}:{flavor}"
             series[key] = {
@@ -115,4 +124,5 @@ def run(scale: str) -> ExperimentResult:
     return result
 
 
-EXPERIMENT = Experiment("f4_6", "Fig 4.6 - FT overall performance", run)
+EXPERIMENT = Experiment("f4_6", "Fig 4.6 - FT overall performance",
+                        points, collate)

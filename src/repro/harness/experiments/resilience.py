@@ -18,10 +18,9 @@ spec (see ``FaultPlan.parse``).
 
 from __future__ import annotations
 
-from repro.apps.uts import run_uts, small_tree
 from repro.harness.reporting import ExperimentResult
 from repro.harness.runner import Experiment
-from repro.machine.presets import pyramid
+from repro.harness.spec import RunSpec
 
 _SCENARIOS = [
     ("none", ""),
@@ -31,23 +30,34 @@ _SCENARIOS = [
 ]
 
 
-def run(scale: str, faults=None) -> ExperimentResult:
+def _params(scale: str):
     if scale == "paper":
-        tree = small_tree("medium")
-        threads, tpn, nodes = 32, 4, 8
-    else:
-        tree = small_tree("small")
-        threads, tpn, nodes = 16, 4, 4
+        return "medium", 32, 4, 8
+    return "small", 16, 4, 4
+
+
+def _cases(scale: str, faults=None):
+    tree, threads, tpn, nodes = _params(scale)
     scenarios = list(_SCENARIOS)
     if faults:
         scenarios = [(n, s) for n, s in scenarios if n != "crash"]
         scenarios.append(("custom", faults))
+    for name, spec_string in scenarios:
+        yield name, RunSpec.make(
+            "uts", scale=scale, policy="local", preset="pyramid",
+            nodes=nodes, threads=threads, threads_per_node=tpn,
+            tree=tree, faults=spec_string or None,
+        )
+
+
+def points(scale: str, faults=None) -> list:
+    return [spec for _name, spec in _cases(scale, faults)]
+
+
+def collate(scale: str, outputs: list, faults=None) -> ExperimentResult:
     rows = []
     results = {}
-    for name, spec in scenarios:
-        res = run_uts("local", tree=tree, threads=threads,
-                      threads_per_node=tpn, preset=pyramid(nodes=nodes),
-                      faults=spec or None)
+    for (name, _spec), res in zip(_cases(scale, faults), outputs):
         results[name] = res
         rows.append({
             "Scenario": name,
@@ -90,5 +100,5 @@ def run(scale: str, faults=None) -> ExperimentResult:
     return result
 
 
-EXPERIMENT = Experiment("r1", "R1 - UTS under injected faults", run,
-                        accepts_faults=True)
+EXPERIMENT = Experiment("r1", "R1 - UTS under injected faults",
+                        points, collate, accepts_faults=True)

@@ -12,7 +12,11 @@ from repro.harness.runner import Experiment
 from repro.machine.presets import lehman, platform_table, pyramid
 
 
-def run(scale: str) -> ExperimentResult:
+def points(scale: str) -> list:
+    return []  # descriptive: no simulation points, collate does it all
+
+
+def collate(scale: str, outputs: list) -> ExperimentResult:
     rows = platform_table()
     result = ExperimentResult(
         experiment_id="t2_1",
@@ -37,4 +41,5 @@ def run(scale: str) -> ExperimentResult:
     return result
 
 
-EXPERIMENT = Experiment("t2_1", "Table 2.1 - Platform Characteristics", run)
+EXPERIMENT = Experiment("t2_1", "Table 2.1 - Platform Characteristics",
+                        points, collate)

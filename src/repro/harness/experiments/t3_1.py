@@ -6,10 +6,10 @@ variants expose the shared-pointer translation cost and its cures.
 
 from __future__ import annotations
 
-from repro.apps.stream import TWISTED_VARIANTS, run_twisted
+from repro.apps.stream import TWISTED_VARIANTS
 from repro.harness.reporting import ExperimentResult
 from repro.harness.runner import Experiment
-from repro.machine.presets import lehman
+from repro.harness.spec import Sweep
 
 _PAPER = {
     "upc-baseline": 3.2,
@@ -19,13 +19,20 @@ _PAPER = {
 }
 
 
-def run(scale: str) -> ExperimentResult:
+def points(scale: str) -> list:
     elements = 2_000_000 if scale == "paper" else 300_000
+    return (
+        Sweep("stream.twisted", scale=scale, preset="lehman", nodes=1,
+              threads=8, elements_per_thread=elements)
+        .over("policy", TWISTED_VARIANTS)
+        .build()
+    )
+
+
+def collate(scale: str, outputs: list) -> ExperimentResult:
     rows = []
     measured = {}
-    for variant in TWISTED_VARIANTS:
-        r = run_twisted(variant, preset=lehman(nodes=1), threads=8,
-                        elements_per_thread=elements)
+    for variant, r in zip(TWISTED_VARIANTS, outputs):
         measured[variant] = r["throughput_gbs"]
         rows.append({
             "Variant": variant,
@@ -59,4 +66,5 @@ def run(scale: str) -> ExperimentResult:
     return result
 
 
-EXPERIMENT = Experiment("t3_1", "Table 3.1 - Twisted STREAM Triad", run)
+EXPERIMENT = Experiment("t3_1", "Table 3.1 - Twisted STREAM Triad",
+                        points, collate)

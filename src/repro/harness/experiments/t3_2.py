@@ -12,10 +12,9 @@ local workers.
 
 from __future__ import annotations
 
-from repro.apps.uts import paper_tree, run_uts, small_tree
 from repro.harness.reporting import ExperimentResult
 from repro.harness.runner import Experiment
-from repro.machine.presets import pyramid
+from repro.harness.spec import Sweep
 
 _PAPER = [
     "IB 32/2: +3.4% overall, local steals 36.2% -> 59.0%",
@@ -27,31 +26,41 @@ _PAPER = [
 ]
 
 
-def run(scale: str) -> ExperimentResult:
+def _params(scale: str):
     if scale == "paper":
-        tree = paper_tree()
-        configs = [(32, 2), (64, 4), (128, 8)]
-        nodes = 16
-    else:
-        tree = small_tree("medium")
-        configs = [(16, 2), (32, 4), (64, 8)]
-        nodes = 8
+        return "paper", [(32, 2), (64, 4), (128, 8)], 16
+    return "medium", [(16, 2), (32, 4), (64, 8)], 8
+
+
+def points(scale: str) -> list:
+    tree, configs, nodes = _params(scale)
+    return (
+        Sweep("uts", scale=scale, preset="pyramid", nodes=nodes, tree=tree)
+        .over("net", [{"conduit": "ib-ddr", "steal_chunk": 8},
+                      {"conduit": "gige", "steal_chunk": 20}])
+        .over("shape", [{"threads": t, "threads_per_node": tpn}
+                        for t, tpn in configs])
+        .over("policy", ("baseline", "local+diffusion"))
+        .build()
+    )
+
+
+def collate(scale: str, outputs: list) -> ExperimentResult:
+    specs = points(scale)
+    by_spec = dict(zip(specs, outputs))
     rows = []
-    for conduit, chunk in (("ib-ddr", 8), ("gige", 20)):
-        for threads, tpn in configs:
-            base = run_uts("baseline", tree=tree, threads=threads,
-                           threads_per_node=tpn, conduit=conduit,
-                           steal_chunk=chunk, preset=pyramid(nodes=nodes))
-            opt = run_uts("local+diffusion", tree=tree, threads=threads,
-                          threads_per_node=tpn, conduit=conduit,
-                          steal_chunk=chunk, preset=pyramid(nodes=nodes))
-            improvement = 100.0 * (base["elapsed_s"] / opt["elapsed_s"] - 1.0)
-            rows.append({
-                "Config": f"{conduit} {threads}/{tpn}",
-                "Overall improvement %": round(improvement, 1),
-                "% local (baseline)": round(base["pct_local_steals"], 1),
-                "% local (optimized)": round(opt["pct_local_steals"], 1),
-            })
+    for spec in specs:
+        if spec.policy != "baseline":
+            continue
+        base = by_spec[spec]
+        opt = by_spec[spec.with_updates(policy="local+diffusion")]
+        improvement = 100.0 * (base["elapsed_s"] / opt["elapsed_s"] - 1.0)
+        rows.append({
+            "Config": f"{spec.conduit} {spec.threads}/{spec.threads_per_node}",
+            "Overall improvement %": round(improvement, 1),
+            "% local (baseline)": round(base["pct_local_steals"], 1),
+            "% local (optimized)": round(opt["pct_local_steals"], 1),
+        })
     result = ExperimentResult(
         experiment_id="t3_2",
         title="Table 3.2 - Profiling Results of UTS",
@@ -85,4 +94,4 @@ def run(scale: str) -> ExperimentResult:
     return result
 
 
-EXPERIMENT = Experiment("t3_2", "Table 3.2 - UTS profiling", run)
+EXPERIMENT = Experiment("t3_2", "Table 3.2 - UTS profiling", points, collate)

@@ -9,10 +9,9 @@ pure models.
 
 from __future__ import annotations
 
-from repro.apps.stream import run_hybrid_stream, run_pure
 from repro.harness.reporting import ExperimentResult
 from repro.harness.runner import Experiment
-from repro.machine.presets import lehman
+from repro.harness.spec import RunSpec
 
 _PAPER = {
     "upc (8)": 24.5,
@@ -23,23 +22,31 @@ _PAPER = {
 }
 
 
-def run(scale: str) -> ExperimentResult:
+def _cases(scale: str):
+    """(config label, spec) rows, in the table's order."""
     n = 2_000_000 if scale == "paper" else 300_000
-    preset = lehman(nodes=1)
+    base = dict(scale=scale, preset="lehman", nodes=1)
+    for model in ("upc", "openmp"):
+        yield f"{model} (8)", RunSpec.make(
+            "stream.pure", policy=model, threads=8,
+            elements_per_thread=n, **base,
+        )
+    for upc, omp, bound in ((1, 8, False), (2, 4, True), (4, 2, True)):
+        label = f"{upc}*{omp}" + ("" if bound else " (unbound)")
+        yield label, RunSpec.make(
+            "stream.hybrid", upc_threads=upc, omp_threads=omp,
+            bound=bound, total_elements=8 * n, **base,
+        )
+
+
+def points(scale: str) -> list:
+    return [spec for _label, spec in _cases(scale)]
+
+
+def collate(scale: str, outputs: list) -> ExperimentResult:
     measured = {}
-    measured["upc (8)"] = run_pure("upc", preset=preset,
-                                   elements_per_thread=n)["throughput_gbs"]
-    measured["openmp (8)"] = run_pure("openmp", preset=preset,
-                                      elements_per_thread=n)["throughput_gbs"]
-    measured["1*8 (unbound)"] = run_hybrid_stream(
-        1, 8, bound=False, preset=preset, total_elements=8 * n
-    )["throughput_gbs"]
-    measured["2*4"] = run_hybrid_stream(
-        2, 4, bound=True, preset=preset, total_elements=8 * n
-    )["throughput_gbs"]
-    measured["4*2"] = run_hybrid_stream(
-        4, 2, bound=True, preset=preset, total_elements=8 * n
-    )["throughput_gbs"]
+    for (label, _spec), r in zip(_cases(scale), outputs):
+        measured[label] = r["throughput_gbs"]
     rows = [
         {"Config": k, "Throughput (GB/s)": round(v, 1), "Paper (GB/s)": _PAPER[k]}
         for k, v in measured.items()
@@ -63,4 +70,5 @@ def run(scale: str) -> ExperimentResult:
     return result
 
 
-EXPERIMENT = Experiment("t4_1", "Table 4.1 - hybrid STREAM placement", run)
+EXPERIMENT = Experiment("t4_1", "Table 4.1 - hybrid STREAM placement",
+                        points, collate)

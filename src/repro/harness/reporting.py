@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -74,10 +75,58 @@ class ExperimentResult:
     #: dynamic-sanitizer findings (``--sanitize``): rows of
     #: {checker, threads, time, phase, message} from repro.analyze.
     sanitizer_findings: List[Dict] = field(default_factory=list)
+    #: campaign counters ({points, executed, cache_hits}) — populated
+    #: only when a result cache was in play, so uncached reports render
+    #: byte-identically to the pre-campaign harness.
+    campaign: Dict = field(default_factory=dict)
 
     @property
     def shape_ok(self) -> bool:
         return not self.shape_failures
+
+    # -- serialization ----------------------------------------------------
+    #
+    # Results cross process boundaries (parallel workers) and sit in the
+    # on-disk cache, so they must survive pickle and JSON round trips
+    # *exactly* — including the insertion order of series points and
+    # their integer x-values, which plain JSON dict keys would turn into
+    # strings.  Series are therefore encoded as ordered [x, y] pairs.
+
+    def to_dict(self) -> Dict:
+        """JSON-safe dict; ``from_dict`` inverts it exactly."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "scale": self.scale,
+            "rows": self.rows,
+            "series": {name: [[x, y] for x, y in ys.items()]
+                       for name, ys in self.series.items()},
+            "x_label": self.x_label,
+            "notes": self.notes,
+            "paper_values": self.paper_values,
+            "shape_failures": self.shape_failures,
+            "breakdown": self.breakdown,
+            "comm_matrix": self.comm_matrix,
+            "sanitized": self.sanitized,
+            "sanitizer_findings": self.sanitizer_findings,
+            "campaign": self.campaign,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentResult":
+        data = dict(data)
+        data["series"] = {name: {x: y for x, y in pairs}
+                          for name, pairs in data.get("series", {}).items()}
+        return cls(**data)
+
+    def to_json(self) -> str:
+        # no sort_keys: row dicts render their columns in insertion
+        # order, and a round trip must not reorder the report's tables
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))
 
     def render(self) -> str:
         parts = [f"## {self.title} [{self.experiment_id}, scale={self.scale}]", ""]
@@ -109,6 +158,13 @@ class ExperimentResult:
             parts.append("")
         if self.notes:
             parts += [f"Note: {n}" for n in self.notes]
+            parts.append("")
+        if self.campaign:
+            parts.append(
+                f"Campaign: {self.campaign.get('points', 0)} point(s), "
+                f"{self.campaign.get('executed', 0)} executed, "
+                f"{self.campaign.get('cache_hits', 0)} cache hit(s)"
+            )
             parts.append("")
         status = "OK" if self.shape_ok else "SHAPE MISMATCH"
         parts.append(f"Shape check: {status}")

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.harness.reporting import ExperimentResult
 
@@ -12,39 +12,64 @@ __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
 
 SCALES = ("quick", "paper")
 
-#: experiment id -> module path (one module per paper table/figure,
-#: plus extensions such as the fault-injection resilience study)
+#: experiment id -> (module path, static title).  One module per paper
+#: table/figure, plus extensions such as the fault-injection resilience
+#: study.  Titles live here (not only on the module's EXPERIMENT) so
+#: ``--list`` can print them without importing heavy app code.
 _MODULES = {
-    "t2_1": "repro.harness.experiments.t2_1",
-    "t3_1": "repro.harness.experiments.t3_1",
-    "t3_2": "repro.harness.experiments.t3_2",
-    "f3_3": "repro.harness.experiments.f3_3",
-    "f3_4": "repro.harness.experiments.f3_4",
-    "f4_2": "repro.harness.experiments.f4_2",
-    "t4_1": "repro.harness.experiments.t4_1",
-    "f4_4": "repro.harness.experiments.f4_4",
-    "f4_5": "repro.harness.experiments.f4_5",
-    "f4_6": "repro.harness.experiments.f4_6",
-    "r1": "repro.harness.experiments.resilience",
+    "t2_1": ("repro.harness.experiments.t2_1",
+             "Table 2.1 - Platform Characteristics"),
+    "t3_1": ("repro.harness.experiments.t3_1",
+             "Table 3.1 - Twisted STREAM Triad"),
+    "t3_2": ("repro.harness.experiments.t3_2",
+             "Table 3.2 - UTS profiling"),
+    "f3_3": ("repro.harness.experiments.f3_3",
+             "Fig 3.3 - UTS scalability"),
+    "f3_4": ("repro.harness.experiments.f3_4",
+             "Fig 3.4 - FT all-to-all optimizations"),
+    "f4_2": ("repro.harness.experiments.f4_2",
+             "Fig 4.2 - Multi-link microbenchmark"),
+    "t4_1": ("repro.harness.experiments.t4_1",
+             "Table 4.1 - hybrid STREAM placement"),
+    "f4_4": ("repro.harness.experiments.f4_4",
+             "Fig 4.4 - FT runtime breakdown"),
+    "f4_5": ("repro.harness.experiments.f4_5",
+             "Fig 4.5 - FT communication time"),
+    "f4_6": ("repro.harness.experiments.f4_6",
+             "Fig 4.6 - FT overall performance"),
+    "r1": ("repro.harness.experiments.resilience",
+           "R1 - UTS under injected faults"),
 }
 
 
 @dataclass(frozen=True)
 class Experiment:
-    """One reproducible paper artifact."""
+    """One reproducible paper artifact, declared as a campaign.
+
+    ``points(scale)`` returns the ordered :class:`~repro.harness.spec.RunSpec`
+    list the artifact needs; ``collate(scale, outputs)`` folds the
+    outputs (same order) into an :class:`ExperimentResult`.  Experiments
+    with ``accepts_faults=True`` take a ``faults=`` keyword in both.
+    """
 
     experiment_id: str
     title: str
-    run: Callable[[str], ExperimentResult]  # run(scale[, faults]) -> result
-    #: True when ``run`` takes a ``faults`` spec (the ``--faults`` CLI flag).
+    points: Callable[..., Sequence]
+    collate: Callable[..., ExperimentResult]
+    #: True when the campaign takes a fault plan (the ``--faults`` flag).
     accepts_faults: bool = False
 
     def __call__(self, scale: str = "quick", faults=None) -> ExperimentResult:
         if scale not in SCALES:
             raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
-        if self.accepts_faults:
-            return self.run(scale, faults=faults)
-        return self.run(scale)
+        if faults is not None and not self.accepts_faults:
+            raise ValueError(
+                f"experiment {self.experiment_id!r} does not accept a "
+                "--faults spec"
+            )
+        from repro.harness.campaign import Campaign
+
+        return Campaign(self, scale=scale, faults=faults).run().result
 
 
 class _Registry:
@@ -59,13 +84,21 @@ class _Registry:
     def __contains__(self, experiment_id: str) -> bool:
         return experiment_id in _MODULES
 
+    def title(self, experiment_id: str) -> str:
+        """Static title — no experiment module import."""
+        if experiment_id not in _MODULES:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; available: {self.ids()}"
+            )
+        return _MODULES[experiment_id][1]
+
     def get(self, experiment_id: str) -> Experiment:
         if experiment_id not in _MODULES:
             raise KeyError(
                 f"unknown experiment {experiment_id!r}; available: {self.ids()}"
             )
         if experiment_id not in self._cache:
-            module = importlib.import_module(_MODULES[experiment_id])
+            module = importlib.import_module(_MODULES[experiment_id][0])
             self._cache[experiment_id] = module.EXPERIMENT
         return self._cache[experiment_id]
 
@@ -84,55 +117,58 @@ def run_experiment(
     trace_path=None,
     breakdown: bool = False,
     sanitize: bool = False,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
-    """Run one experiment; optionally trace and/or sanitize it.
+    """Run one experiment's campaign; optionally trace and/or sanitize it.
 
-    ``trace_path`` writes a Chrome trace-event JSON covering every
-    simulated program the experiment ran; ``breakdown`` attaches the
-    critical-path time attribution and communication matrix to the
-    result (rendered by :meth:`ExperimentResult.render`); ``sanitize``
-    arms the dynamic PGAS sanitizer (:mod:`repro.analyze`) and attaches
-    its findings.  All default off, in which case neither a tracer nor a
-    sanitizer is attached and the simulation runs at full speed.
+    ``jobs`` selects the executor: 1 runs every point inline (the
+    historical behavior, byte-identical reports), >1 fans independent
+    points across a process pool.  ``cache_dir`` arms the
+    content-addressed result cache there (None disables caching);
+    already-computed points are then skipped and the hit/executed
+    counters surface on the result.  ``trace_path`` writes a Chrome
+    trace-event JSON covering every simulated program the experiment
+    ran; ``breakdown`` attaches the critical-path time attribution and
+    communication matrix to the result (rendered by
+    :meth:`ExperimentResult.render`); ``sanitize`` arms the dynamic PGAS
+    sanitizer (:mod:`repro.analyze`) and attaches its findings.  All
+    default off, in which case neither a tracer nor a sanitizer is
+    attached and the simulation runs at full speed.
     """
     exp = get_experiment(experiment_id)
     if faults and not exp.accepts_faults:
         raise ValueError(
             f"experiment {experiment_id!r} does not accept a --faults spec"
         )
-    if not trace_path and not breakdown and not sanitize:
-        return exp(scale, faults=faults)
+    cache = None
+    if cache_dir is not None:
+        from repro.harness.cache import ResultCache
 
-    from contextlib import ExitStack
+        cache = ResultCache(cache_dir)
+    from repro.harness.campaign import Campaign
 
-    with ExitStack() as stack:
-        san_session = None
-        if sanitize:
-            from repro.analyze.sanitizer import sanitize_session
-
-            san_session = stack.enter_context(sanitize_session(experiment_id))
-        session = None
-        if trace_path or breakdown:
-            from repro.obs.session import trace_session
-
-            session = stack.enter_context(trace_session(experiment_id))
-        result = exp(scale, faults=faults)
+    campaign = Campaign(exp, scale=scale, faults=faults, jobs=jobs, cache=cache)
+    trace = bool(trace_path) or breakdown
+    outcome = campaign.run(trace=trace, sanitize=sanitize)
+    result = outcome.result
     if trace_path:
         from repro.obs.export import write_chrome_trace
 
-        write_chrome_trace(trace_path, session.tracers)
-        result.notes.append(f"trace written ({len(session.tracers)} runs)")
+        write_chrome_trace(trace_path, outcome.batch.tracers)
+        result.notes.append(
+            f"trace written ({len(outcome.batch.tracers)} runs)"
+        )
     if breakdown:
         from repro.obs.critical_path import breakdown_rows, comm_matrix_rows
 
-        result.breakdown = breakdown_rows(session.tracers)
-        result.comm_matrix = comm_matrix_rows(session.tracers)
+        result.breakdown = breakdown_rows(outcome.batch.tracers)
+        result.comm_matrix = comm_matrix_rows(outcome.batch.tracers)
     if sanitize:
-        findings = san_session.findings
         result.sanitized = True
-        result.sanitizer_findings = [f.row() for f in findings]
+        result.sanitizer_findings = list(outcome.batch.findings)
         result.notes.append(
-            f"sanitizer: {len(findings)} finding(s) across "
-            f"{len(san_session.sanitizers)} run(s)"
+            f"sanitizer: {len(outcome.batch.findings)} finding(s) across "
+            f"{outcome.batch.sanitizer_runs} run(s)"
         )
     return result

@@ -1,0 +1,200 @@
+"""Run specifications: the *what to run* half of the campaign pipeline.
+
+A :class:`RunSpec` names one simulation point — app, policy, platform,
+conduit, thread shape, seed, faults, scale, plus app-specific ``extras``
+— as a frozen, hashable value with a canonical JSON form and a stable
+content fingerprint.  Specs carry only primitives (strings, numbers,
+bools, None, nested tuples), so they pickle across process boundaries
+for the parallel executor and hash identically across interpreter runs
+for the result cache.
+
+:class:`Sweep` builds the cross-products the experiments declare:
+axes are applied in declaration order, so the resulting spec list — and
+therefore every collated table and series — has a deterministic order
+regardless of how the points are later scheduled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "RunSpec",
+    "Sweep",
+    "threads_per_node",
+    "freeze_value",
+]
+
+#: RunSpec fields that are *not* app extras (kept in sync with the
+#: dataclass below; everything else passed to builders lands in extras).
+_CORE_FIELDS = (
+    "app", "policy", "preset", "nodes", "conduit", "threads",
+    "threads_per_node", "seed", "faults", "scale",
+)
+
+
+def threads_per_node(threads: int, nodes: int) -> int:
+    """Threads placed on each node for a ``threads``-wide run on ``nodes``.
+
+    The canonical ``max(1, threads // nodes)`` shared by the sweep
+    declarations (one definition instead of a copy per experiment
+    module); a run narrower than the node count packs one thread per
+    occupied node.
+    """
+    return max(1, threads // nodes)
+
+
+def freeze_value(value: Any) -> Any:
+    """Recursively freeze ``value`` into a hashable, canonical form.
+
+    Lists/tuples become tuples; dicts become sorted ``(key, value)``
+    tuples; scalars pass through.  Anything else (objects, sets) is
+    rejected so a spec can never smuggle unserializable state.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze_value(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), freeze_value(v)) for k, v in value.items()))
+    raise TypeError(
+        f"spec values must be JSON-like primitives, got {type(value).__name__}"
+    )
+
+
+def _thaw(value: Any) -> Any:
+    """Tuples back to lists for the canonical JSON form."""
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation point: everything an executor needs to run it."""
+
+    app: str                                   #: adapter id, e.g. "uts", "ft.exchange"
+    policy: Optional[str] = None               #: app policy/variant/model name
+    preset: Optional[str] = None               #: platform preset factory ("lehman", "pyramid")
+    nodes: Optional[int] = None                #: cluster nodes for the preset
+    conduit: Optional[str] = None              #: network conduit override
+    threads: Optional[int] = None              #: total UPC threads / MPI ranks
+    threads_per_node: Optional[int] = None
+    seed: Optional[int] = None                 #: app-level seed, when it takes one
+    faults: Optional[str] = None               #: FaultPlan spec string
+    scale: str = "quick"
+    #: app-specific parameters, frozen as sorted ``(key, value)`` tuples.
+    extras: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, app: str, **params: Any) -> "RunSpec":
+        """Build a spec, routing unknown keywords into ``extras``."""
+        core = {k: params.pop(k) for k in list(params) if k in _CORE_FIELDS}
+        extras = tuple(sorted((k, freeze_value(v)) for k, v in params.items()))
+        return cls(app=app, extras=extras, **core)
+
+    def extras_dict(self) -> Dict[str, Any]:
+        return dict(self.extras)
+
+    def extra(self, key: str, default: Any = None) -> Any:
+        for k, v in self.extras:
+            if k == key:
+                return v
+        return default
+
+    def with_updates(self, **params: Any) -> "RunSpec":
+        """A copy with core fields replaced and/or extras merged."""
+        core = {k: params.pop(k) for k in list(params) if k in _CORE_FIELDS}
+        merged = self.extras_dict()
+        for k, v in params.items():
+            merged[k] = freeze_value(v)
+        return replace(self, extras=tuple(sorted(merged.items())), **core)
+
+    # -- canonical form ---------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain dict (extras nested, tuples thawed) — the JSON shape."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)
+               if f.name != "extras"}
+        out["extras"] = {k: _thaw(v) for k, v in self.extras}
+        return out
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON: sorted keys, compact separators."""
+        return json.dumps(self.as_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the canonical form (hex sha256)."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunSpec":
+        data = dict(data)
+        extras = data.pop("extras", {}) or {}
+        return cls.make(data.pop("app"), **data, **dict(extras))
+
+    # -- execution helpers ------------------------------------------------
+
+    def build_preset(self):
+        """Reconstruct the platform preset named by this spec."""
+        if self.preset is None:
+            return None
+        from repro.machine import presets
+
+        factory = getattr(presets, self.preset, None)
+        if factory is None:
+            raise ValueError(f"unknown platform preset {self.preset!r}")
+        if self.nodes is not None:
+            return factory(nodes=self.nodes)
+        return factory()
+
+
+class Sweep:
+    """Declarative cross-product builder for :class:`RunSpec` lists.
+
+    Axes multiply in declaration order (first axis outermost), matching
+    the nesting of the loops they replace, so collation sees points in
+    the historical order.  An axis value may be a scalar (assigned to
+    the axis's field) or a dict of several field/extra updates that vary
+    together (e.g. a conduit with its tuned steal chunk).
+    """
+
+    def __init__(self, app: str, **base: Any):
+        self._base = RunSpec.make(app, **base)
+        self._axes: List[List[Dict[str, Any]]] = []
+        self._filters: List[Callable[[RunSpec], bool]] = []
+        self._derives: List[Callable[[RunSpec], Dict[str, Any]]] = []
+
+    def over(self, axis: str, values: Iterable[Any]) -> "Sweep":
+        """Add an axis: one spec per value, crossed with every other axis."""
+        points = []
+        for v in values:
+            points.append(dict(v) if isinstance(v, dict) else {axis: v})
+        if not points:
+            raise ValueError(f"axis {axis!r} has no values")
+        self._axes.append(points)
+        return self
+
+    def where(self, predicate: Callable[[RunSpec], bool]) -> "Sweep":
+        """Drop cross-product cells the predicate rejects."""
+        self._filters.append(predicate)
+        return self
+
+    def derive(self, fn: Callable[[RunSpec], Dict[str, Any]]) -> "Sweep":
+        """Compute dependent fields (e.g. threads_per_node) per point."""
+        self._derives.append(fn)
+        return self
+
+    def build(self) -> List[RunSpec]:
+        specs = [self._base]
+        for axis in self._axes:
+            specs = [s.with_updates(**updates) for s in specs for updates in axis]
+        for fn in self._derives:
+            specs = [s.with_updates(**fn(s)) for s in specs]
+        for pred in self._filters:
+            specs = [s for s in specs if pred(s)]
+        return specs

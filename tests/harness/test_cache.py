@@ -1,0 +1,77 @@
+"""Unit tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.spec import RunSpec
+
+
+@pytest.fixture
+def spec():
+    return RunSpec.make("uts", policy="local", preset="pyramid", nodes=4,
+                        threads=16, tree="small")
+
+
+class TestResultCache:
+    def test_miss_on_empty_cache(self, tmp_path, spec):
+        assert ResultCache(tmp_path).get(spec) is None
+
+    def test_put_get_round_trip(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        output = {"elapsed_s": 1.25, "series": [[1, 2.0], [2, 4.0]]}
+        cache.put(spec, output)
+        assert cache.get(spec) == output
+
+    def test_entries_are_sharded_json_files(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        cache.put(spec, {"v": 1})
+        path = cache.path(spec)
+        assert path.parent.name == cache.key(spec)[:2]
+        entry = json.loads(path.read_text())
+        assert entry["spec"] == spec.canonical_json()
+        assert entry["output"] == {"v": 1}
+
+    def test_different_specs_do_not_collide(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        other = spec.with_updates(threads=32)
+        cache.put(spec, {"v": 1})
+        cache.put(other, {"v": 2})
+        assert cache.get(spec) == {"v": 1}
+        assert cache.get(other) == {"v": 2}
+
+    def test_version_bump_invalidates(self, tmp_path, spec):
+        ResultCache(tmp_path, version="1.0.0").put(spec, {"v": 1})
+        assert ResultCache(tmp_path, version="1.0.1").get(spec) is None
+
+    def test_corrupt_entry_is_a_miss_and_heals(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        cache.put(spec, {"v": 1})
+        cache.path(spec).write_text("{ not json")
+        assert cache.get(spec) is None
+        cache.put(spec, {"v": 2})
+        assert cache.get(spec) == {"v": 2}
+
+    def test_spec_collision_guard(self, tmp_path, spec):
+        # an entry whose stored spec disagrees with the key is a miss
+        cache = ResultCache(tmp_path)
+        cache.put(spec, {"v": 1})
+        path = cache.path(spec)
+        entry = json.loads(path.read_text())
+        entry["spec"] = RunSpec.make("uts", threads=99).canonical_json()
+        path.write_text(json.dumps(entry))
+        assert cache.get(spec) is None
+
+    def test_lossy_output_rejected(self, tmp_path, spec):
+        # int dict keys turn into strings under JSON: caching that copy
+        # would make cached and fresh reports diverge, so put() refuses
+        cache = ResultCache(tmp_path)
+        with pytest.raises(TypeError, match="JSON round-trip"):
+            cache.put(spec, {"by_size": {8: 1.0}})
+        assert cache.get(spec) is None
+
+    def test_unserializable_output_rejected(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(TypeError):
+            cache.put(spec, {"checksums": [complex(0, 1)]})

@@ -1,0 +1,99 @@
+"""Round-trip tests for ExperimentResult serialization.
+
+Results cross process boundaries (parallel workers ship them back via
+pickle) and sit in the on-disk cache as JSON, so both transports must
+reproduce the result *exactly* — including series insertion order and
+integer x-values, which naive JSON dict keys would stringify.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.harness.reporting import ExperimentResult
+
+
+def full_result() -> ExperimentResult:
+    """A result exercising every field, with adversarial key types."""
+    return ExperimentResult(
+        experiment_id="x9",
+        title="Round-trip fixture",
+        scale="quick",
+        rows=[{"Variant": "split", "Cores": 8, "Gain %": -3.5},
+              {"Variant": "overlap", "Cores": 8, "Gain %": 12.0}],
+        # insertion order is deliberately non-sorted on both levels
+        series={"gige:local": {16: 2.5, 4: 1.0, 8: 1.75},
+                "ib-ddr:baseline": {4: 1.1, 16: 3.0}},
+        x_label="threads",
+        notes=["trace written (3 runs)"],
+        paper_values=["paper says ~2.5x"],
+        shape_failures=["a deliberate failure"],
+        breakdown=[{"category": "compute", "seconds": 0.25, "share": 0.25}],
+        comm_matrix=[{"src_node": 0, "dst_node": 1, "messages": 3,
+                      "bytes": 96.0}],
+        sanitized=True,
+        sanitizer_findings=[{"checker": "race", "threads": "0,1",
+                             "time": 1e-6, "phase": "exchange",
+                             "message": "unordered conflicting access"}],
+        campaign={"points": 5, "executed": 2, "cache_hits": 3},
+    )
+
+
+class TestJsonRoundTrip:
+    def test_exact_inversion(self):
+        r = full_result()
+        back = ExperimentResult.from_json(r.to_json())
+        assert back == r
+
+    def test_series_preserve_insertion_order_and_int_keys(self):
+        back = ExperimentResult.from_json(full_result().to_json())
+        assert list(back.series) == ["gige:local", "ib-ddr:baseline"]
+        assert list(back.series["gige:local"]) == [16, 4, 8]
+        assert all(isinstance(x, int) for x in back.series["gige:local"])
+
+    def test_to_dict_is_json_clean(self):
+        # the invariant ResultCache.put enforces for raw outputs must
+        # hold for collated results too
+        d = full_result().to_dict()
+        assert json.loads(json.dumps(d)) == d
+
+    def test_render_identical_after_round_trip(self):
+        r = full_result()
+        assert ExperimentResult.from_json(r.to_json()).render() == r.render()
+
+    def test_empty_result_round_trips(self):
+        r = ExperimentResult("x0", "empty", "quick")
+        back = ExperimentResult.from_json(r.to_json())
+        assert back == r and back.campaign == {}
+
+
+class TestPickleRoundTrip:
+    def test_exact_inversion(self):
+        r = full_result()
+        back = pickle.loads(pickle.dumps(r))
+        assert back == r
+        assert back.render() == r.render()
+
+    def test_mutations_do_not_alias(self):
+        r = full_result()
+        back = pickle.loads(pickle.dumps(r))
+        back.series["gige:local"][16] = 99.0
+        back.rows[0]["Cores"] = 0
+        assert r.series["gige:local"][16] == 2.5
+        assert r.rows[0]["Cores"] == 8
+
+
+class TestRealExperimentRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.harness.runner import run_experiment
+
+        return run_experiment("t3_1", scale="quick")
+
+    def test_json_and_pickle_reproduce_report(self, result):
+        via_json = ExperimentResult.from_json(result.to_json())
+        via_pickle = pickle.loads(pickle.dumps(result))
+        assert via_json == result
+        assert via_pickle == result
+        assert via_json.render() == result.render()

@@ -1,0 +1,164 @@
+"""Unit tests for RunSpec and the declarative Sweep builder."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.harness.spec import RunSpec, Sweep, freeze_value, threads_per_node
+
+
+class TestThreadsPerNode:
+    def test_even_split(self):
+        assert threads_per_node(32, 8) == 4
+
+    def test_narrow_run_packs_one_per_node(self):
+        # fewer threads than nodes: one thread per occupied node
+        assert threads_per_node(4, 8) == 1
+
+    def test_single_thread(self):
+        assert threads_per_node(1, 16) == 1
+
+
+class TestFreezeValue:
+    def test_scalars_pass_through(self):
+        for v in (None, True, 3, 2.5, "x"):
+            assert freeze_value(v) == v
+
+    def test_lists_become_tuples(self):
+        assert freeze_value([1, [2, 3]]) == (1, (2, 3))
+
+    def test_dicts_become_sorted_pairs(self):
+        assert freeze_value({"b": 2, "a": 1}) == (("a", 1), ("b", 2))
+
+    def test_objects_rejected(self):
+        with pytest.raises(TypeError, match="JSON-like"):
+            freeze_value(object())
+
+
+class TestRunSpec:
+    def test_make_routes_unknown_kwargs_to_extras(self):
+        spec = RunSpec.make("uts", policy="local", threads=16, tree="small",
+                            steal_chunk=8)
+        assert spec.policy == "local"
+        assert spec.threads == 16
+        assert spec.extra("tree") == "small"
+        assert spec.extras_dict() == {"steal_chunk": 8, "tree": "small"}
+
+    def test_extra_default(self):
+        spec = RunSpec.make("uts")
+        assert spec.extra("missing", 42) == 42
+
+    def test_hashable_and_usable_as_dict_key(self):
+        a = RunSpec.make("ft", threads=8, variant="split")
+        b = RunSpec.make("ft", threads=8, variant="split")
+        assert a == b
+        assert {a: 1}[b] == 1
+
+    def test_extras_order_does_not_matter(self):
+        a = RunSpec.make("ft", alpha=1, beta=2)
+        b = RunSpec.make("ft", beta=2, alpha=1)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_with_updates_core_and_extras(self):
+        spec = RunSpec.make("uts", policy="baseline", threads=8, chunk=4)
+        other = spec.with_updates(policy="local+diffusion", chunk=20)
+        assert other.policy == "local+diffusion"
+        assert other.extra("chunk") == 20
+        # original is untouched (frozen value semantics)
+        assert spec.policy == "baseline" and spec.extra("chunk") == 4
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        spec = RunSpec.make("uts", threads=8, tree="small")
+        text = spec.canonical_json()
+        assert " " not in text
+        data = json.loads(text)
+        assert list(data) == sorted(data)
+        assert data["extras"] == {"tree": "small"}
+
+    def test_fingerprint_is_stable_content_hash(self):
+        spec = RunSpec.make("uts", threads=8)
+        assert spec.fingerprint() == RunSpec.make("uts", threads=8).fingerprint()
+        assert spec.fingerprint() != RunSpec.make("uts", threads=16).fingerprint()
+        assert len(spec.fingerprint()) == 64
+
+    def test_from_dict_inverts_as_dict(self):
+        spec = RunSpec.make("ft", policy=None, preset="lehman", nodes=8,
+                            threads=32, variant="overlap", iterations=3)
+        assert RunSpec.from_dict(spec.as_dict()) == spec
+        assert RunSpec.from_dict(json.loads(spec.canonical_json())) == spec
+
+    def test_pickle_round_trip(self):
+        spec = RunSpec.make("stream.hybrid", preset="lehman", nodes=1,
+                            upc_threads=2, omp_threads=4, bound=True)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_build_preset_by_name(self):
+        spec = RunSpec.make("uts", preset="lehman", nodes=4)
+        preset = spec.build_preset()
+        assert preset.machine.name == "Lehman"
+        assert preset.machine.nodes == 4
+
+    def test_build_preset_none_when_unset(self):
+        assert RunSpec.make("uts").build_preset() is None
+
+    def test_build_preset_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown platform preset"):
+            RunSpec.make("uts", preset="nonesuch").build_preset()
+
+    def test_unserializable_extras_rejected(self):
+        with pytest.raises(TypeError):
+            RunSpec.make("uts", bad=object())
+
+
+class TestSweep:
+    def test_axes_multiply_in_declaration_order(self):
+        specs = (
+            Sweep("uts", preset="lehman")
+            .over("conduit", ("ib-ddr", "gige"))
+            .over("threads", (1, 2))
+            .build()
+        )
+        # first axis outermost, matching the loops the sweep replaces
+        assert [(s.conduit, s.threads) for s in specs] == [
+            ("ib-ddr", 1), ("ib-ddr", 2), ("gige", 1), ("gige", 2),
+        ]
+
+    def test_dict_axis_values_vary_fields_together(self):
+        specs = (
+            Sweep("uts")
+            .over("net", [{"conduit": "ib-ddr", "steal_chunk": 8},
+                          {"conduit": "gige", "steal_chunk": 20}])
+            .build()
+        )
+        assert [(s.conduit, s.extra("steal_chunk")) for s in specs] == [
+            ("ib-ddr", 8), ("gige", 20),
+        ]
+
+    def test_derive_computes_dependent_fields(self):
+        specs = (
+            Sweep("ft", nodes=8)
+            .over("threads", (8, 32))
+            .derive(lambda s: {
+                "threads_per_node": threads_per_node(s.threads, s.nodes)})
+            .build()
+        )
+        assert [s.threads_per_node for s in specs] == [1, 4]
+
+    def test_where_filters_cells(self):
+        specs = (
+            Sweep("ft")
+            .over("threads", (1, 2, 4))
+            .where(lambda s: s.threads > 1)
+            .build()
+        )
+        assert [s.threads for s in specs] == [2, 4]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            Sweep("ft").over("threads", ())
+
+    def test_no_axes_yields_base_spec(self):
+        specs = Sweep("ft", threads=8).build()
+        assert len(specs) == 1 and specs[0].threads == 8
