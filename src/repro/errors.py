@@ -17,6 +17,7 @@ __all__ = [
     "SubthreadError",
     "MpiError",
     "FaultError",
+    "ExecutorError",
     "MessageCorruptedError",
     "EndpointFailedError",
 ]
@@ -52,6 +53,15 @@ class MpiError(SimulationError):
 
 class FaultError(SimulationError):
     """Invalid fault plan or fault-injection misuse."""
+
+
+class ExecutorError(SimulationError):
+    """A campaign executor could not complete its batch.
+
+    Raised with a message naming the point whose worker died (instead of
+    an opaque ``BrokenProcessPool`` abort), or a journal that cannot be
+    resumed.
+    """
 
 
 class MessageCorruptedError(NetworkError):

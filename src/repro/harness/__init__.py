@@ -33,15 +33,27 @@ __all__ = [
 
 from repro.harness.campaign import Campaign  # noqa: E402
 from repro.harness.cache import ResultCache  # noqa: E402
-from repro.harness.executor import InlineExecutor, ParallelExecutor  # noqa: E402
+from repro.harness.chaos import ChaosPlan  # noqa: E402
+from repro.harness.executor import (  # noqa: E402
+    ExecutorError,
+    InlineExecutor,
+    ParallelExecutor,
+)
+from repro.harness.journal import CampaignJournal, campaign_fingerprint  # noqa: E402
+from repro.harness.queue import QueueExecutor  # noqa: E402
 from repro.harness.spec import RunSpec, Sweep, threads_per_node  # noqa: E402
 
 __all__ += [
     "Campaign",
+    "CampaignJournal",
+    "ChaosPlan",
+    "ExecutorError",
     "InlineExecutor",
     "ParallelExecutor",
+    "QueueExecutor",
     "ResultCache",
     "RunSpec",
     "Sweep",
+    "campaign_fingerprint",
     "threads_per_node",
 ]

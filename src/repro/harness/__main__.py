@@ -10,6 +10,9 @@ Examples::
     python -m repro.harness f4_2 --report-breakdown
     python -m repro.harness f3_3 --jobs 4
     python -m repro.harness --all --no-cache
+    python -m repro.harness f3_3 --durable --jobs 4 --point-timeout 120
+    python -m repro.harness f3_3 --resume
+    python -m repro.harness t3_1 --chaos "kill:point=1,attempt=1;seed=7"
 """
 
 from __future__ import annotations
@@ -60,9 +63,53 @@ def main(argv=None) -> int:
                              "computed points are skipped on re-runs")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache (every point runs)")
+    parser.add_argument("--durable", action="store_true",
+                        help="run under the crash-safe queue executor: "
+                             "every point's lifecycle is journaled, failed "
+                             "points retry with backoff and are quarantined "
+                             "after --max-attempts, and an interrupted "
+                             "campaign can be finished with --resume")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay the campaign journal and execute only "
+                             "unfinished points (implies --durable); the "
+                             "final report is byte-identical to an "
+                             "uninterrupted run")
+    parser.add_argument("--point-timeout", type=float, metavar="SECONDS",
+                        help="kill any single simulation point that exceeds "
+                             "this wall-clock budget; the point is journaled "
+                             "as failed and retried/quarantined instead of "
+                             "wedging the campaign (implies --durable)")
+    parser.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                        help="attempts per point before the durable executor "
+                             "quarantines it as poison (default 3)")
+    parser.add_argument("--lease-timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="heartbeat lease duration for durable workers; "
+                             "a worker silent this long is presumed dead and "
+                             "its point is reclaimed (default 30)")
+    parser.add_argument("--journal-dir", metavar="DIR",
+                        help="campaign journal location (default "
+                             "<cache-dir>/journals)")
+    parser.add_argument("--chaos", metavar="SPEC",
+                        help="seeded self-chaos injection for the durable "
+                             "executor (e.g. 'kill:point=1,attempt=1;"
+                             "halt:after=2;seed=7'); implies --durable")
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.max_attempts < 1:
+        parser.error("--max-attempts must be >= 1")
+    if args.point_timeout is not None and args.point_timeout <= 0:
+        parser.error("--point-timeout must be > 0")
+    if args.lease_timeout <= 0:
+        parser.error("--lease-timeout must be > 0")
+    if args.chaos:
+        from repro.harness.chaos import ChaosPlan
+
+        try:
+            ChaosPlan.parse(args.chaos)
+        except FaultError as exc:
+            parser.error(f"--chaos: {exc}")
 
     # `run` compat: accept `python -m repro.harness run f4_2` like the
     # docs' short form `python -m repro.harness f4_2`.
@@ -91,6 +138,11 @@ def main(argv=None) -> int:
                 trace_path=args.trace, breakdown=args.report_breakdown,
                 sanitize=args.sanitize, jobs=args.jobs,
                 cache_dir=None if args.no_cache else args.cache_dir,
+                durable=args.durable, resume=args.resume,
+                point_timeout=args.point_timeout,
+                max_attempts=args.max_attempts,
+                lease_timeout=args.lease_timeout,
+                chaos=args.chaos, journal_dir=args.journal_dir,
             )
         except FaultError as exc:
             parser.error(f"--faults: {exc}")

@@ -73,11 +73,20 @@ class ResultCache:
         return None if output is _MISS else output
 
     def put(self, spec: RunSpec, output: Dict[str, Any]) -> None:
-        """Store ``output`` for ``spec`` atomically.
+        """Store ``output`` for ``spec`` atomically, safe under racers.
 
         Raises TypeError when the output does not survive a JSON round
         trip — caching a lossy copy would make cached and fresh reports
         diverge, which is strictly worse than not caching.
+
+        Concurrent multi-process writers (parallel and durable
+        executors, several campaigns sharing one cache dir) are safe by
+        construction: each writer stages into its own exclusive temp
+        file (``mkstemp`` with a pid-tagged prefix, so a crashed
+        writer's litter is attributable) and publishes with an atomic
+        ``os.replace`` — last write wins whole, readers never observe a
+        torn entry, and every racer writes identical bytes anyway
+        because outputs are pure functions of the spec.
         """
         encoded = json.dumps(output)
         if json.loads(encoded) != output:
@@ -93,10 +102,14 @@ class ResultCache:
             "spec": spec.canonical_json(),
             "output": output,
         }
-        fd, tmp = tempfile.mkstemp(dir=str(target.parent), suffix=".tmp")
+        fd, tmp = tempfile.mkstemp(dir=str(target.parent),
+                                   prefix=f".put-{os.getpid()}-",
+                                   suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(entry, fh, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, target)
         except BaseException:
             try:

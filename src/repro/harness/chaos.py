@@ -1,0 +1,161 @@
+"""Self-chaos plans: deterministic fault injection aimed at the harness.
+
+:mod:`repro.faults` breaks the *simulated* machine; this module turns
+the same mindset on the campaign executor itself.  A :class:`ChaosPlan`
+is a pure description of what goes wrong around point execution — worker
+SIGKILLs, dropped results, stalled workers (lease expiry), injected
+exceptions (poison points), corrupted cache entries, and a coordinator
+SIGKILL after N completions — parsed from a compact spec grammar
+(``--chaos``)::
+
+    kill:point=2[,attempt=1]       worker SIGKILLs itself before reporting
+    drop:point=0[,attempt=1]       worker exits 0 without sending a result
+    stall:point=3[,attempt=1]      worker hangs with heartbeats suppressed
+    fail:point=1[,attempt=K]       worker raises (no attempt= -> poison)
+    kill:prob=0.25                 seeded per-(point,attempt) coin instead
+    corrupt-cache:point=1          garbage written over the cache entry
+    halt:after=2                   coordinator SIGKILLs itself after 2 dones
+    seed=7
+
+Clauses are separated by ``;``.  Probabilistic draws hash
+``seed:kind:fingerprint:attempt`` — no RNG state, so a decision is a
+pure function of the plan and the point, identical across retries of
+*other* points, across ``--resume``, and across hosts.  That determinism
+is what lets the chaos tests assert byte-identical final reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.errors import FaultError
+
+__all__ = ["ChaosRule", "ChaosPlan"]
+
+#: Worker-side actions, in the order the worker applies them.
+_WORKER_KINDS = ("stall", "fail", "kill", "drop")
+_KINDS = _WORKER_KINDS + ("corrupt-cache",)
+
+
+@dataclass(frozen=True)
+class ChaosRule:
+    """One injection: ``kind`` hits a point/attempt, or a seeded coin."""
+
+    kind: str
+    point: Optional[int] = None    #: executor-local point index filter
+    attempt: Optional[int] = None  #: attempt-number filter (None: every)
+    prob: Optional[float] = None   #: seeded per-(point,attempt) coin
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise FaultError(
+                f"chaos kind must be one of {_KINDS}, got {self.kind!r}"
+            )
+        if (self.point is None) == (self.prob is None):
+            raise FaultError(
+                f"chaos {self.kind!r} rule needs exactly one of point= or prob="
+            )
+        if self.prob is not None and not 0 <= self.prob <= 1:
+            raise FaultError(f"probability must be in [0, 1], got {self.prob}")
+        if self.point is not None and self.point < 0:
+            raise FaultError(f"point index must be >= 0, got {self.point}")
+        if self.attempt is not None and self.attempt < 1:
+            raise FaultError(f"attempt must be >= 1, got {self.attempt}")
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """One campaign's complete, deterministic self-sabotage schedule."""
+
+    rules: Tuple[ChaosRule, ...] = ()
+    halt_after: Optional[int] = None   #: coordinator SIGKILL after N dones
+    seed: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.rules and self.halt_after is None
+
+    def decide(self, kind: str, point: int, fingerprint: str,
+               attempt: int) -> bool:
+        """Does ``kind`` strike this (point, attempt)?  Pure function."""
+        for rule in self.rules:
+            if rule.kind != kind:
+                continue
+            if rule.attempt is not None and attempt != rule.attempt:
+                continue
+            if rule.point is not None:
+                if rule.point == point:
+                    return True
+                continue
+            digest = hashlib.sha256(
+                f"{self.seed}:{kind}:{fingerprint}:{attempt}".encode()
+            ).digest()
+            draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+            if draw < rule.prob:
+                return True
+        return False
+
+    def corrupt_cache_entries(self, cache, specs) -> int:
+        """Overwrite targeted points' cache entries with garbage.
+
+        Exercises the cache's self-healing: a corrupted entry must read
+        as a miss and be recomputed, never poison the report.  Returns
+        how many entries were clobbered.
+        """
+        clobbered = 0
+        for index, spec in enumerate(specs):
+            if not self.decide("corrupt-cache", index, spec.fingerprint(), 1):
+                continue
+            path = cache.path(spec)
+            if path.exists():
+                path.write_text("{ \"chaos\": truncated garbag")
+                clobbered += 1
+        return clobbered
+
+    @staticmethod
+    def parse(spec: Union[str, "ChaosPlan", None],
+              seed: int = 0) -> "ChaosPlan":
+        """Parse the ``--chaos`` spec grammar (see module docstring)."""
+        if spec is None:
+            return ChaosPlan(seed=seed)
+        if isinstance(spec, ChaosPlan):
+            return spec
+        from repro.faults.plan import _parse_kv, _take_float, _take_int
+
+        rules = []
+        halt_after = None
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                seed = int(clause[len("seed="):])
+                continue
+            head, _, body = clause.partition(":")
+            head = head.strip()
+            kv = _parse_kv(body, clause)
+            if head == "halt":
+                halt_after = _take_int(kv, "after", clause)
+                if halt_after < 1:
+                    raise FaultError(
+                        f"halt after= must be >= 1, got {halt_after}"
+                    )
+            elif head in _KINDS:
+                rules.append(ChaosRule(
+                    kind=head,
+                    point=_take_int(kv, "point", clause, default=None),
+                    attempt=_take_int(kv, "attempt", clause, default=None),
+                    prob=_take_float(kv, "prob", clause, default=None),
+                ))
+            else:
+                raise FaultError(
+                    f"unknown chaos clause {head!r} in {clause!r} "
+                    f"(expected {'|'.join(_KINDS)}|halt|seed=N)"
+                )
+            if kv:
+                raise FaultError(
+                    f"unknown key(s) {sorted(kv)} in chaos clause {clause!r}"
+                )
+        return ChaosPlan(rules=tuple(rules), halt_after=halt_after, seed=seed)

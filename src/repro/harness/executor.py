@@ -3,7 +3,7 @@
 An executor takes an ordered list of :class:`~repro.harness.spec.RunSpec`
 points and returns their outputs **in the same order**, plus any
 observability payloads (tracers, sanitizer findings) the caller asked
-for.  Two implementations share that contract:
+for.  Three implementations share that contract:
 
 * :class:`InlineExecutor` — runs every point in this process, one after
   the other; exactly the historical harness behavior (and the only mode
@@ -13,7 +13,13 @@ for.  Two implementations share that contract:
   trace/sanitize session and ships the finished tracers (detached from
   their simulator) and finding rows back through pickle; the parent
   re-numbers tracer ``run_index`` in spec order so exports are
-  byte-identical to an inline run.
+  byte-identical to an inline run.  A worker death surfaces as a clear
+  :class:`ExecutorError` naming the point instead of an opaque
+  ``BrokenProcessPool`` abort.
+* :class:`~repro.harness.queue.QueueExecutor` — the durable, lease-based
+  executor (``--durable``/``--resume``): journals every point's
+  lifecycle, retries failures with backoff, and quarantines poison
+  points instead of aborting the campaign.
 
 Every simulation point is a pure function of its spec (fixed seeds, no
 wall-clock reads), so scheduling cannot change results — only wall time.
@@ -21,13 +27,18 @@ wall-clock reads), so scheduling cannot change results — only wall time.
 
 from __future__ import annotations
 
+import os
+import signal
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.errors import ExecutorError
 from repro.harness.spec import RunSpec
 
 __all__ = [
     "ExecutionBatch",
+    "ExecutorError",
     "InlineExecutor",
     "ParallelExecutor",
     "execute_spec",
@@ -61,7 +72,7 @@ def execute_spec(spec: RunSpec) -> Dict[str, Any]:
 class ExecutionBatch:
     """Outputs (in spec order) plus observability payloads of one batch."""
 
-    outputs: List[Dict[str, Any]] = field(default_factory=list)
+    outputs: List[Optional[Dict[str, Any]]] = field(default_factory=list)
     #: finished tracers from every simulated run, in spec order
     #: (empty unless the batch was traced).
     tracers: List[Any] = field(default_factory=list)
@@ -69,6 +80,13 @@ class ExecutionBatch:
     findings: List[Dict[str, Any]] = field(default_factory=list)
     #: how many sanitizers were armed (== simulated runs when sanitizing).
     sanitizer_runs: int = 0
+    #: quarantined points (queue executor only): rows of {point, app,
+    #: fingerprint, attempts, error} with batch-local point indices; the
+    #: matching ``outputs`` slots hold None.
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    #: points whose outputs were replayed from a journal (``--resume``)
+    #: instead of executed.
+    replayed: int = 0
 
 
 class InlineExecutor:
@@ -104,15 +122,15 @@ class InlineExecutor:
         return batch
 
 
-def _run_point(args) -> Dict[str, Any]:
-    """Worker entry: one spec inside its own trace/sanitize sessions.
+def _compute_payload(spec: RunSpec, trace: bool,
+                     sanitize: bool) -> Dict[str, Any]:
+    """One spec inside its own trace/sanitize sessions → picklable payload.
 
-    Returns a picklable payload; tracers are detached from their
-    simulator (``sim`` holds generators, which cannot cross a process
-    boundary) — everything the exporter and critical-path attribution
-    read is already materialized in the tracer's own lists.
+    Tracers are detached from their simulator (``sim`` holds generators,
+    which cannot cross a process boundary) — everything the exporter and
+    critical-path attribution read is already materialized in the
+    tracer's own lists.
     """
-    spec, trace, sanitize = args
     from contextlib import ExitStack
 
     payload: Dict[str, Any] = {"tracers": [], "findings": [],
@@ -139,31 +157,75 @@ def _run_point(args) -> Dict[str, Any]:
     return payload
 
 
+def _run_point(args) -> Dict[str, Any]:
+    """Pool-worker entry: compute one point, honoring any chaos plan.
+
+    The chaos hooks exist so the executor's own failure paths can be
+    tested deterministically: ``stall`` hangs before computing, ``fail``
+    raises after computing, ``kill`` SIGKILLs the worker right before it
+    would report — the BrokenProcessPool case a real OOM kill produces.
+    """
+    index, spec, trace, sanitize, chaos_spec = args
+    plan = None
+    if chaos_spec:
+        from repro.harness.chaos import ChaosPlan
+
+        plan = ChaosPlan.parse(chaos_spec)
+    fingerprint = spec.fingerprint()
+    if plan is not None and plan.decide("stall", index, fingerprint, 1):
+        time.sleep(3600.0)
+    payload = _compute_payload(spec, trace, sanitize)
+    if plan is not None:
+        if plan.decide("fail", index, fingerprint, 1):
+            raise RuntimeError(f"chaos: injected failure at point {index}")
+        if plan.decide("kill", index, fingerprint, 1):
+            os.kill(os.getpid(), signal.SIGKILL)
+    return payload
+
+
 class ParallelExecutor:
     """Fan independent points across worker processes (``--jobs N``)."""
 
-    def __init__(self, jobs: int):
+    def __init__(self, jobs: int, chaos: Optional[str] = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.chaos = chaos
 
     def run(self, specs: Sequence[RunSpec], *, trace: bool = False,
             sanitize: bool = False) -> ExecutionBatch:
         if not specs:
             return ExecutionBatch()
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
 
         batch = ExecutionBatch()
         workers = min(self.jobs, len(specs))
-        tasks = [(spec, trace, sanitize) for spec in specs]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            # map() yields in submission order: deterministic spec order
-            # regardless of which worker finishes first.
-            for payload in pool.map(_run_point, tasks):
-                batch.outputs.append(payload["output"])
-                batch.tracers.extend(payload["tracers"])
-                batch.findings.extend(payload["findings"])
-                batch.sanitizer_runs += payload["sanitizer_runs"]
+        tasks = [(i, spec, trace, sanitize, self.chaos)
+                 for i, spec in enumerate(specs)]
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                # map() yields in submission order: deterministic spec
+                # order regardless of which worker finishes first.
+                for payload in pool.map(_run_point, tasks):
+                    batch.outputs.append(payload["output"])
+                    batch.tracers.extend(payload["tracers"])
+                    batch.findings.extend(payload["findings"])
+                    batch.sanitizer_runs += payload["sanitizer_runs"]
+        except BrokenProcessPool as exc:
+            # map() has yielded every point before this one, so the
+            # first unreturned point is where the batch stopped; with
+            # several points in flight the dead worker held this point
+            # or one shortly after it.
+            index = len(batch.outputs)
+            spec = specs[min(index, len(specs) - 1)]
+            raise ExecutorError(
+                f"worker process died while running point {index} of "
+                f"{len(specs)} ({spec.app}, fingerprint "
+                f"{spec.fingerprint()[:12]}); the process pool cannot "
+                "recover — re-run with --durable to retry the point and "
+                "quarantine it if it keeps killing workers"
+            ) from exc
         # Re-number the merged tracers so exports are byte-identical to
         # an inline run's single session (run_index is lane-ordering).
         for index, tracer in enumerate(batch.tracers, start=1):

@@ -1,0 +1,202 @@
+"""Durable campaign journals: the crash-safe record of a campaign's life.
+
+A :class:`CampaignJournal` is an append-only JSONL file, one per
+campaign, keyed by the campaign's content fingerprint (the hash of every
+point's canonical spec plus the package version).  The queue executor
+(:mod:`repro.harness.queue`) writes one event per lifecycle transition —
+
+* ``campaign`` — header: fingerprint, point count, version;
+* ``resume``   — a later coordinator reopened the journal;
+* ``lease``    — point ``p`` claimed for attempt ``k`` by worker ``pid``;
+* ``done``     — point ``p`` finished; the JSON output rides along;
+* ``failed``   — attempt ``k`` on point ``p`` died (worker killed, lease
+  expired, timeout, dropped result, or an exception — ``kind`` says which);
+* ``quarantined`` — point ``p`` exhausted its attempts and is poison —
+
+so replaying the file reconstructs exactly where an interrupted campaign
+stopped.  Only the single coordinator process appends (workers report
+through pipes), every append is flushed and fsynced, and replay
+tolerates a torn final line (a coordinator SIGKILLed mid-append), so a
+campaign killed at *any* instant leaves a resumable journal.
+
+Heartbeats are deliberately **not** journaled: they are coordinator-side
+liveness state, worthless after the coordinator itself dies, and would
+bloat the journal by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro._version import __version__
+
+__all__ = [
+    "CampaignJournal",
+    "JournalState",
+    "PointState",
+    "campaign_fingerprint",
+]
+
+#: Point lifecycle states a replay can land in.
+PENDING, LEASED, DONE, FAILED, QUARANTINED = (
+    "pending", "leased", "done", "failed", "quarantined",
+)
+
+
+def campaign_fingerprint(specs: Sequence, version: str = __version__) -> str:
+    """Stable content hash of an ordered point list.
+
+    Includes the package version so a simulator change starts a fresh
+    journal instead of resuming onto outputs the new code would not
+    reproduce — the same invalidation rule the result cache uses.
+    """
+    payload = "\n".join(spec.canonical_json() for spec in specs)
+    return hashlib.sha256(f"{payload}\n{version}".encode()).hexdigest()
+
+
+@dataclass
+class PointState:
+    """Where one point stands after replaying its journal events."""
+
+    status: str = PENDING
+    attempts: int = 0          #: highest attempt number seen
+    output: Optional[Dict[str, Any]] = None   #: set iff status == done
+    error: str = ""            #: last failure message, if any
+
+    @property
+    def runnable(self) -> bool:
+        """True when a resuming coordinator should (re)execute the point.
+
+        ``leased`` counts as runnable: a lease without a ``done`` means
+        the previous coordinator died while the point was in flight.
+        """
+        return self.status in (PENDING, LEASED, FAILED)
+
+
+@dataclass
+class JournalState:
+    """The fold of a journal's events: header plus per-point states."""
+
+    header: Optional[Dict[str, Any]] = None
+    points: Dict[int, PointState] = field(default_factory=dict)
+
+    def point(self, index: int) -> PointState:
+        return self.points.setdefault(index, PointState())
+
+    @property
+    def done(self) -> List[int]:
+        return sorted(i for i, p in self.points.items() if p.status == DONE)
+
+    @property
+    def quarantined(self) -> List[int]:
+        return sorted(i for i, p in self.points.items()
+                      if p.status == QUARANTINED)
+
+
+class CampaignJournal:
+    """Append-only JSONL event log for one campaign."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._fh = None
+
+    @classmethod
+    def for_campaign(cls, journal_dir, fingerprint: str) -> "CampaignJournal":
+        """The canonical journal location for a campaign fingerprint."""
+        return cls(Path(journal_dir) / f"{fingerprint[:16]}.jsonl")
+
+    @property
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def discard(self) -> None:
+        """Remove any previous journal (a fresh, non-resumed run)."""
+        self.close()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Durably append one event (flushed and fsynced per line).
+
+        fsync-per-event is deliberate: the journal exists precisely for
+        the case where the coordinator is SIGKILLed an instant later,
+        and campaign points are seconds-long simulations, so the sync
+        cost is noise next to the work it protects.
+        """
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a")
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- replay -----------------------------------------------------------
+
+    def events(self) -> Iterator[Dict[str, Any]]:
+        """Parsed events in append order, tolerating a torn tail.
+
+        A coordinator killed mid-append leaves a final line that is
+        truncated or non-JSON; replay stops there — everything before it
+        was fsynced whole, everything after it never durably happened.
+        """
+        try:
+            with open(self.path) as fh:
+                for line in fh:
+                    try:
+                        event = json.loads(line)
+                    except ValueError:
+                        return
+                    if isinstance(event, dict):
+                        yield event
+        except OSError:
+            return
+
+    def replay(self) -> JournalState:
+        """Fold the event stream into per-point lifecycle states."""
+        state = JournalState()
+        for event in self.events():
+            kind = event.get("e")
+            if kind == "campaign" and state.header is None:
+                state.header = event
+                continue
+            if kind in ("campaign", "resume"):
+                continue
+            index = event.get("p")
+            if not isinstance(index, int):
+                continue
+            point = state.point(index)
+            attempt = event.get("attempt")
+            if isinstance(attempt, int):
+                point.attempts = max(point.attempts, attempt)
+            if kind == "lease":
+                if point.status in (PENDING, LEASED, FAILED):
+                    point.status = LEASED
+            elif kind == "done":
+                point.status = DONE
+                point.output = event.get("output")
+                point.error = ""
+            elif kind == "failed":
+                if point.status != DONE:
+                    point.status = FAILED
+                    point.error = str(event.get("error", ""))
+            elif kind == "quarantined":
+                point.status = QUARANTINED
+        return state

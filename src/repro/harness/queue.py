@@ -1,0 +1,380 @@
+"""Durable, lease-based campaign executor: the crash-safe work queue.
+
+:class:`QueueExecutor` implements the executor contract of
+:mod:`repro.harness.executor` as a coordinator over single-point worker
+processes, journaling every lifecycle transition so a campaign survives
+anything short of losing the journal file itself:
+
+* **Leases + heartbeats** — each in-flight point is a time-limited lease;
+  the worker's heartbeat thread refreshes it.  A worker that stops
+  heartbeating (hung interpreter, livelocked simulation, SIGSTOP) has
+  its lease reclaimed: the coordinator kills it and requeues the point.
+* **Retries with backoff** — a failed attempt (worker SIGKILLed, lease
+  expired, per-point timeout, dropped result, app exception) is retried
+  under exponential backoff with deterministic jitter (a pure hash of
+  the point fingerprint and attempt number — no RNG state to lose).
+* **Quarantine** — a point that fails ``max_attempts`` times is poison:
+  it is journaled as quarantined and surfaced in the batch's
+  ``failures`` while every other point completes, so the campaign
+  degrades to a partial report instead of aborting.
+* **Resume** — ``resume=True`` replays the journal first and executes
+  only points without a durable ``done`` record; because every point is
+  a pure function of its spec, the resumed report is byte-identical to
+  an uninterrupted run.
+
+The coordinator is the journal's only writer (workers report through
+pipes), which keeps the journal single-writer-append-only — the same
+property that makes its replay trivially consistent.
+
+Observability caveat: replayed outputs carry no tracers (they were
+produced by a dead process), so a traced or sanitized run ignores the
+replay and re-executes every point — mirroring how the campaign cache
+bypasses reads under ``--trace``/``--sanitize``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import os
+import signal
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.harness.chaos import ChaosPlan
+from repro.harness.executor import (
+    ExecutionBatch,
+    ExecutorError,
+    _compute_payload,
+)
+from repro.harness.journal import CampaignJournal, campaign_fingerprint
+from repro.harness.spec import RunSpec
+
+__all__ = ["QueueExecutor"]
+
+#: Forever, as far as one campaign point is concerned.
+_STALL_S = 3600.0
+
+
+def _queue_worker(conn, index: int, spec: RunSpec, attempt: int,
+                  trace: bool, sanitize: bool, chaos_spec: Optional[str],
+                  heartbeat_s: float) -> None:
+    """Worker entry: compute one point, heartbeat while doing so.
+
+    All reporting goes through ``conn``: ``("hb", i)`` keeps the lease
+    alive, ``("result", i, payload)`` delivers the point, and
+    ``("error", i, msg)`` reports an app exception without killing the
+    campaign.  A worker that dies without sending anything is exactly
+    the failure the lease/retry machinery exists for.
+    """
+    import threading
+
+    plan = ChaosPlan.parse(chaos_spec) if chaos_spec else None
+    fingerprint = spec.fingerprint()
+    stalled = plan is not None and plan.decide("stall", index, fingerprint,
+                                               attempt)
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    if not stalled:
+        # Chaos "stall" suppresses heartbeats too: a hung interpreter
+        # does not run helper threads either, and the whole point is to
+        # force the coordinator down the lease-expiry path.
+        def _beat() -> None:
+            while not stop.wait(heartbeat_s):
+                try:
+                    with send_lock:
+                        conn.send(("hb", index))
+                except OSError:
+                    return
+
+        threading.Thread(target=_beat, daemon=True).start()
+    try:
+        if stalled:
+            time.sleep(_STALL_S)
+        payload = _compute_payload(spec, trace, sanitize)
+        if plan is not None:
+            if plan.decide("fail", index, fingerprint, attempt):
+                raise RuntimeError(f"chaos: injected failure at point {index}")
+            if plan.decide("kill", index, fingerprint, attempt):
+                os.kill(os.getpid(), signal.SIGKILL)
+            if plan.decide("drop", index, fingerprint, attempt):
+                return      # exit 0 with no result: a dropped message
+        with send_lock:
+            conn.send(("result", index, payload))
+    except BaseException as exc:
+        try:
+            with send_lock:
+                conn.send(("error", index, f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    finally:
+        stop.set()
+        conn.close()
+
+
+class _Task:
+    """Coordinator-side state of one leased, in-flight point."""
+
+    __slots__ = ("point", "attempt", "proc", "conn", "started", "last_hb",
+                 "result", "error")
+
+    def __init__(self, point: int, attempt: int, proc, conn, now: float):
+        self.point = point
+        self.attempt = attempt
+        self.proc = proc
+        self.conn = conn
+        self.started = now
+        self.last_hb = now
+        self.result: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+
+
+class QueueExecutor:
+    """Durable lease-based executor (``--durable``/``--resume``)."""
+
+    def __init__(self, jobs: int = 1, *, journal_dir,
+                 resume: bool = False, max_attempts: int = 3,
+                 lease_s: float = 30.0, heartbeat_s: Optional[float] = None,
+                 point_timeout: Optional[float] = None,
+                 retry_base_s: float = 0.25,
+                 chaos: Optional[str] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be > 0, got {lease_s}")
+        if point_timeout is not None and point_timeout <= 0:
+            raise ValueError(f"point_timeout must be > 0, got {point_timeout}")
+        self.jobs = jobs
+        self.journal_dir = journal_dir
+        self.resume = resume
+        self.max_attempts = max_attempts
+        self.lease_s = lease_s
+        self.heartbeat_s = heartbeat_s if heartbeat_s is not None else lease_s / 4.0
+        self.point_timeout = point_timeout
+        self.retry_base_s = retry_base_s
+        self.chaos = chaos
+
+    # -- retry policy -----------------------------------------------------
+
+    def backoff_s(self, fingerprint: str, attempt: int) -> float:
+        """Delay before retrying ``attempt`` (which just failed).
+
+        Exponential in the attempt number with deterministic jitter: the
+        jitter is a pure hash of (fingerprint, attempt), so two runs of
+        the same campaign schedule retries identically — no RNG state to
+        persist, nothing to desynchronize across a resume.
+        """
+        base = self.retry_base_s * (2.0 ** (attempt - 1))
+        digest = hashlib.sha256(
+            f"backoff:{fingerprint}:{attempt}".encode()
+        ).digest()
+        jitter = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return base * (1.0 + 0.5 * jitter)
+
+    # -- the campaign loop ------------------------------------------------
+
+    def run(self, specs: Sequence[RunSpec], *, trace: bool = False,
+            sanitize: bool = False) -> ExecutionBatch:
+        batch = ExecutionBatch()
+        if not specs:
+            return batch
+        specs = list(specs)
+        total = len(specs)
+        fingerprint = campaign_fingerprint(specs)
+        plan = ChaosPlan.parse(self.chaos) if self.chaos else None
+        journal = CampaignJournal.for_campaign(self.journal_dir, fingerprint)
+
+        outputs: List[Optional[Dict[str, Any]]] = [None] * total
+        attempts = {i: 0 for i in range(total)}
+        quarantined: Dict[int, str] = {}
+        replayed = 0
+
+        with journal:
+            if self.resume and journal.exists:
+                state = journal.replay()
+                header = state.header
+                if header is not None and (
+                        header.get("fp") != fingerprint
+                        or header.get("points") != total):
+                    raise ExecutorError(
+                        f"journal {journal.path} was recorded for a "
+                        "different campaign (fingerprint or point count "
+                        "mismatch); remove it or run without --resume"
+                    )
+                for i, point in state.points.items():
+                    if not 0 <= i < total:
+                        continue
+                    attempts[i] = point.attempts
+                    if point.status == "done" and not (trace or sanitize):
+                        outputs[i] = point.output
+                        replayed += 1
+                    elif point.status == "quarantined":
+                        quarantined[i] = point.error or "quarantined"
+                journal.append({"e": "resume", "pending": total - replayed
+                                - len(quarantined)})
+            else:
+                if not self.resume:
+                    journal.discard()
+                journal.append({"e": "campaign", "fp": fingerprint,
+                                "points": total,
+                                "version": _package_version()})
+            pending = [i for i in range(total)
+                       if outputs[i] is None and i not in quarantined]
+            results = self._drain(specs, pending, attempts, journal, plan,
+                                  trace, sanitize, quarantined)
+
+        tracers: List[Any] = []
+        findings: List[Dict[str, Any]] = []
+        for i in range(total):
+            payload = results.get(i)
+            if payload is None:
+                continue
+            outputs[i] = payload["output"]
+            tracers.extend(payload["tracers"])
+            findings.extend(payload["findings"])
+            batch.sanitizer_runs += payload["sanitizer_runs"]
+        for index, tracer in enumerate(tracers, start=1):
+            tracer.run_index = index
+        batch.outputs = outputs
+        batch.tracers = tracers
+        batch.findings = findings
+        batch.replayed = replayed
+        batch.failures = [
+            {"point": i, "app": specs[i].app,
+             "fingerprint": specs[i].fingerprint()[:12],
+             "attempts": max(attempts[i], 1), "error": quarantined[i]}
+            for i in sorted(quarantined)
+        ]
+        return batch
+
+    def _drain(self, specs, pending, attempts, journal, plan,
+               trace, sanitize, quarantined) -> Dict[int, Dict[str, Any]]:
+        """Run every pending point to done or quarantine; the inner loop."""
+        import multiprocessing as mp
+        from multiprocessing.connection import wait as conn_wait
+
+        ctx = mp.get_context()
+        results: Dict[int, Dict[str, Any]] = {}
+        fresh_done = 0
+        ready: List[tuple] = []     # (not_before, point, attempt)
+        for i in pending:
+            heapq.heappush(ready, (0.0, i, attempts[i] + 1))
+        inflight: Dict[Any, _Task] = {}
+
+        def launch(point: int, attempt: int) -> None:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_queue_worker,
+                args=(child_conn, point, specs[point], attempt, trace,
+                      sanitize, self.chaos, self.heartbeat_s),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            attempts[point] = attempt
+            journal.append({"e": "lease", "p": point, "attempt": attempt,
+                            "pid": proc.pid, "lease_s": self.lease_s})
+            inflight[parent_conn] = _Task(point, attempt, proc, parent_conn,
+                                          time.monotonic())
+
+        def finish(task: _Task) -> None:
+            nonlocal fresh_done
+            del inflight[task.conn]
+            try:
+                task.conn.close()
+            except OSError:
+                pass
+            if task.proc.is_alive():
+                task.proc.kill()
+            task.proc.join(5.0)
+            if task.result is not None:
+                results[task.point] = task.result
+                journal.append({"e": "done", "p": task.point,
+                                "attempt": task.attempt,
+                                "output": task.result["output"]})
+                fresh_done += 1
+                if (plan is not None and plan.halt_after is not None
+                        and fresh_done >= plan.halt_after):
+                    # Chaos "halt": die exactly like a machine reboot
+                    # would — mid-campaign, journal intact, no cleanup.
+                    os.kill(os.getpid(), signal.SIGKILL)
+                return
+            error = task.error
+            if error is None:
+                code = task.proc.exitcode
+                if code == 0:
+                    error = "worker exited without reporting a result"
+                elif code is not None and code < 0:
+                    error = (f"worker killed by signal "
+                             f"{signal.Signals(-code).name}")
+                else:
+                    error = f"worker died (exit code {code})"
+            journal.append({"e": "failed", "p": task.point,
+                            "attempt": task.attempt, "error": error})
+            if task.attempt >= self.max_attempts:
+                journal.append({"e": "quarantined", "p": task.point,
+                                "attempt": task.attempt})
+                quarantined[task.point] = error
+            else:
+                delay = self.backoff_s(specs[task.point].fingerprint(),
+                                       task.attempt)
+                heapq.heappush(ready, (time.monotonic() + delay, task.point,
+                                       task.attempt + 1))
+
+        while ready or inflight:
+            now = time.monotonic()
+            while (ready and len(inflight) < self.jobs
+                   and ready[0][0] <= now):
+                _, point, attempt = heapq.heappop(ready)
+                launch(point, attempt)
+            deadlines = []
+            if ready:
+                deadlines.append(ready[0][0])
+            for task in inflight.values():
+                deadlines.append(task.last_hb + self.lease_s)
+                if self.point_timeout is not None:
+                    deadlines.append(task.started + self.point_timeout)
+            now = time.monotonic()
+            timeout = min(deadlines) - now if deadlines else 0.05
+            timeout = max(0.0, min(timeout, 0.25))
+            if inflight:
+                for conn in conn_wait(list(inflight), timeout):
+                    task = inflight.get(conn)
+                    if task is None:
+                        continue
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        finish(task)       # worker gone without a result
+                        continue
+                    kind = message[0]
+                    if kind == "hb":
+                        task.last_hb = time.monotonic()
+                    elif kind == "result":
+                        task.result = message[2]
+                        finish(task)
+                    elif kind == "error":
+                        task.error = message[2]
+                        finish(task)
+            elif timeout > 0:
+                time.sleep(timeout)
+            now = time.monotonic()
+            for task in list(inflight.values()):
+                if (self.point_timeout is not None
+                        and now - task.started > self.point_timeout):
+                    task.error = (f"point timeout: exceeded "
+                                  f"{self.point_timeout:g}s wall clock")
+                    finish(task)
+                elif now - task.last_hb > self.lease_s:
+                    task.error = (f"lease expired: no heartbeat for "
+                                  f"{self.lease_s:g}s")
+                    finish(task)
+        return results
+
+
+def _package_version() -> str:
+    from repro._version import __version__
+
+    return __version__

@@ -79,6 +79,12 @@ class ExperimentResult:
     #: only when a result cache was in play, so uncached reports render
     #: byte-identically to the pre-campaign harness.
     campaign: Dict = field(default_factory=dict)
+    #: quarantined points from a degraded durable campaign: rows of
+    #: {point, app, fingerprint, attempts, error}.  Non-empty only when
+    #: the queue executor gave up on a poison point; the rest of the
+    #: campaign still completed and this result carries the partial
+    #: outcome instead of an aborted run.
+    failures: List[Dict] = field(default_factory=list)
 
     @property
     def shape_ok(self) -> bool:
@@ -110,6 +116,7 @@ class ExperimentResult:
             "sanitized": self.sanitized,
             "sanitizer_findings": self.sanitizer_findings,
             "campaign": self.campaign,
+            "failures": self.failures,
         }
 
     @classmethod
@@ -143,6 +150,13 @@ class ExperimentResult:
         if self.comm_matrix:
             parts += ["Communication matrix (src node -> dst node):",
                       format_table(self.comm_matrix), ""]
+        if self.failures:
+            parts += ["Failed points (quarantined after retries):",
+                      format_table(
+                          self.failures,
+                          columns=["point", "app", "fingerprint",
+                                   "attempts", "error"],
+                      ), ""]
         if self.sanitizer_findings:
             parts += ["Sanitizer findings:",
                       format_table(

@@ -119,6 +119,13 @@ def run_experiment(
     sanitize: bool = False,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    durable: bool = False,
+    resume: bool = False,
+    point_timeout: Optional[float] = None,
+    max_attempts: int = 3,
+    lease_timeout: float = 30.0,
+    chaos: Optional[str] = None,
+    journal_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment's campaign; optionally trace and/or sanitize it.
 
@@ -135,6 +142,18 @@ def run_experiment(
     sanitizer (:mod:`repro.analyze`) and attaches its findings.  All
     default off, in which case neither a tracer nor a sanitizer is
     attached and the simulation runs at full speed.
+
+    ``durable`` (implied by ``resume``, ``point_timeout``, or ``chaos``)
+    swaps in the crash-safe :class:`~repro.harness.queue.QueueExecutor`:
+    every point's lifecycle is journaled under ``journal_dir`` (default
+    ``<cache or .repro-cache>/journals``), failed points retry up to
+    ``max_attempts`` times with backoff and are then quarantined,
+    workers run under ``lease_timeout``-second heartbeat leases and an
+    optional per-point ``point_timeout`` wall-clock limit, and
+    ``resume=True`` replays the journal to execute only unfinished
+    points — the final report is byte-identical to an uninterrupted run.
+    ``chaos`` injects deterministic executor faults
+    (:mod:`repro.harness.chaos`) for self-testing.
     """
     exp = get_experiment(experiment_id)
     if faults and not exp.accepts_faults:
@@ -148,7 +167,24 @@ def run_experiment(
         cache = ResultCache(cache_dir)
     from repro.harness.campaign import Campaign
 
-    campaign = Campaign(exp, scale=scale, faults=faults, jobs=jobs, cache=cache)
+    executor = None
+    durable = durable or resume or chaos is not None or point_timeout is not None
+    if durable:
+        import os
+
+        from repro.harness.cache import DEFAULT_CACHE_DIR
+        from repro.harness.queue import QueueExecutor
+
+        if journal_dir is None:
+            journal_dir = os.path.join(cache_dir or DEFAULT_CACHE_DIR,
+                                       "journals")
+        executor = QueueExecutor(
+            jobs=jobs, journal_dir=journal_dir, resume=resume,
+            max_attempts=max_attempts, lease_s=lease_timeout,
+            point_timeout=point_timeout, chaos=chaos,
+        )
+    campaign = Campaign(exp, scale=scale, faults=faults, jobs=jobs,
+                        cache=cache, executor=executor, chaos=chaos)
     trace = bool(trace_path) or breakdown
     outcome = campaign.run(trace=trace, sanitize=sanitize)
     result = outcome.result

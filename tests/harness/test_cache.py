@@ -1,6 +1,7 @@
 """Unit tests for the content-addressed result cache."""
 
 import json
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
@@ -75,3 +76,46 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         with pytest.raises(TypeError):
             cache.put(spec, {"checksums": [complex(0, 1)]})
+
+
+def _hammer_one_fingerprint(root, spec, writer_id, iterations):
+    """Worker: interleave puts and gets against a single cache entry.
+
+    Returns the number of torn/invalid reads observed (must be zero:
+    ``os.replace`` publishes entries atomically, so a reader sees either
+    a complete previous entry or a complete new one, never a mix).
+    """
+    cache = ResultCache(root)
+    torn = 0
+    for i in range(iterations):
+        cache.put(spec, {"writer": writer_id, "i": i})
+        out = cache.get(spec)
+        if (not isinstance(out, dict)
+                or set(out) != {"writer", "i"}
+                or not isinstance(out.get("writer"), int)):
+            torn += 1
+    return torn
+
+
+class TestConcurrentWriters:
+    def test_eight_processes_hammer_one_fingerprint(self, tmp_path, spec):
+        """Satellite: multi-process writers never tear a cache entry.
+
+        8 processes race puts/gets on the *same* fingerprint; every read
+        must observe a complete entry (last write wins whole), and no
+        stray temp files may survive.
+        """
+        writers, iterations = 8, 25
+        with ProcessPoolExecutor(max_workers=writers) as pool:
+            torn = list(pool.map(
+                _hammer_one_fingerprint,
+                [tmp_path] * writers, [spec] * writers,
+                range(writers), [iterations] * writers,
+            ))
+        assert torn == [0] * writers
+        final = ResultCache(tmp_path).get(spec)
+        assert set(final) == {"writer", "i"}
+        assert 0 <= final["writer"] < writers
+        assert final["i"] == iterations - 1     # everyone wrote i last
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []

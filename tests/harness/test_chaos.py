@@ -1,0 +1,107 @@
+"""Unit tests for the self-chaos plan grammar (repro.harness.chaos)."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.harness.cache import ResultCache
+from repro.harness.chaos import ChaosPlan, ChaosRule
+from repro.harness.spec import RunSpec
+
+
+class TestParse:
+    def test_empty_and_none(self):
+        assert ChaosPlan.parse(None).is_empty
+        assert ChaosPlan.parse("").is_empty
+        assert ChaosPlan.parse(" ; ;").is_empty
+
+    def test_plan_passes_through(self):
+        plan = ChaosPlan(rules=(ChaosRule("kill", point=1),))
+        assert ChaosPlan.parse(plan) is plan
+
+    def test_targeted_clauses(self):
+        plan = ChaosPlan.parse(
+            "kill:point=2,attempt=1;drop:point=0;stall:point=3,attempt=2;"
+            "fail:point=1;corrupt-cache:point=1;halt:after=2;seed=7")
+        kinds = [r.kind for r in plan.rules]
+        assert kinds == ["kill", "drop", "stall", "fail", "corrupt-cache"]
+        assert plan.halt_after == 2
+        assert plan.seed == 7
+
+    def test_unknown_clause_rejected(self):
+        with pytest.raises(FaultError, match="unknown chaos clause"):
+            ChaosPlan.parse("explode:point=1")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(FaultError, match="unknown key"):
+            ChaosPlan.parse("kill:point=1,when=now")
+
+    def test_rule_needs_point_or_prob(self):
+        with pytest.raises(FaultError, match="exactly one of"):
+            ChaosPlan.parse("kill:attempt=1")
+        with pytest.raises(FaultError, match="exactly one of"):
+            ChaosPlan.parse("kill:point=1,prob=0.5")
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(FaultError):
+            ChaosPlan.parse("kill:prob=1.5")
+        with pytest.raises(FaultError):
+            ChaosPlan.parse("kill:point=-1")
+        with pytest.raises(FaultError):
+            ChaosPlan.parse("kill:point=1,attempt=0")
+        with pytest.raises(FaultError):
+            ChaosPlan.parse("halt:after=0")
+
+
+class TestDecide:
+    def test_targeted_point_and_attempt(self):
+        plan = ChaosPlan.parse("kill:point=2,attempt=1")
+        assert plan.decide("kill", 2, "fp", 1)
+        assert not plan.decide("kill", 2, "fp", 2)
+        assert not plan.decide("kill", 1, "fp", 1)
+        assert not plan.decide("drop", 2, "fp", 1)
+
+    def test_no_attempt_filter_hits_every_attempt(self):
+        # this is the poison-point shape: fails on every retry
+        plan = ChaosPlan.parse("fail:point=1")
+        assert all(plan.decide("fail", 1, "fp", k) for k in (1, 2, 3))
+
+    def test_probabilistic_draw_is_deterministic(self):
+        plan = ChaosPlan.parse("kill:prob=0.5;seed=7")
+        draws = [plan.decide("kill", i, f"fp{i}", 1) for i in range(64)]
+        again = [plan.decide("kill", i, f"fp{i}", 1) for i in range(64)]
+        assert draws == again
+        assert any(draws) and not all(draws)   # a real coin at p=0.5
+
+    def test_seed_changes_the_draws(self):
+        a = ChaosPlan.parse("kill:prob=0.5;seed=1")
+        b = ChaosPlan.parse("kill:prob=0.5;seed=2")
+        draws_a = [a.decide("kill", i, f"fp{i}", 1) for i in range(64)]
+        draws_b = [b.decide("kill", i, f"fp{i}", 1) for i in range(64)]
+        assert draws_a != draws_b
+
+    def test_prob_bounds(self):
+        never = ChaosPlan.parse("kill:prob=0.0")
+        always = ChaosPlan.parse("kill:prob=1.0")
+        assert not any(never.decide("kill", i, f"fp{i}", 1) for i in range(16))
+        assert all(always.decide("kill", i, f"fp{i}", 1) for i in range(16))
+
+
+class TestCorruptCache:
+    def test_targeted_entry_clobbered_and_heals(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [RunSpec.make("uts", threads=t) for t in (1, 2)]
+        for spec in specs:
+            cache.put(spec, {"v": spec.threads})
+        plan = ChaosPlan.parse("corrupt-cache:point=1")
+        assert plan.corrupt_cache_entries(cache, specs) == 1
+        # untargeted entry intact; corrupted one reads as a miss (heals)
+        assert cache.get(specs[0]) == {"v": 1}
+        assert cache.get(specs[1]) is None
+        cache.put(specs[1], {"v": 2})
+        assert cache.get(specs[1]) == {"v": 2}
+
+    def test_missing_entry_is_not_an_error(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [RunSpec.make("uts", threads=1)]
+        assert ChaosPlan.parse("corrupt-cache:point=0").corrupt_cache_entries(
+            cache, specs) == 0

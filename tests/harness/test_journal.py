@@ -1,0 +1,116 @@
+"""Unit tests for the durable campaign journal (repro.harness.journal)."""
+
+import json
+
+from repro.harness.journal import (
+    CampaignJournal,
+    campaign_fingerprint,
+)
+from repro.harness.spec import RunSpec
+
+
+def specs3():
+    return [RunSpec.make("uts", threads=t) for t in (1, 2, 4)]
+
+
+class TestCampaignFingerprint:
+    def test_stable_across_calls(self):
+        assert campaign_fingerprint(specs3()) == campaign_fingerprint(specs3())
+
+    def test_sensitive_to_spec_content(self):
+        other = specs3()
+        other[1] = other[1].with_updates(threads=3)
+        assert campaign_fingerprint(specs3()) != campaign_fingerprint(other)
+
+    def test_sensitive_to_point_order(self):
+        assert (campaign_fingerprint(specs3())
+                != campaign_fingerprint(list(reversed(specs3()))))
+
+    def test_version_salts_the_fingerprint(self):
+        # a simulator change must start a fresh journal, not resume onto
+        # outputs the new code would not reproduce
+        assert (campaign_fingerprint(specs3(), version="1")
+                != campaign_fingerprint(specs3(), version="2"))
+
+
+class TestAppendReplay:
+    def test_roundtrip_lifecycle(self, tmp_path):
+        journal = CampaignJournal.for_campaign(tmp_path, "ab" * 32)
+        with journal:
+            journal.append({"e": "campaign", "fp": "ab" * 32, "points": 2})
+            journal.append({"e": "lease", "p": 0, "attempt": 1, "pid": 42})
+            journal.append({"e": "done", "p": 0, "attempt": 1,
+                            "output": {"v": 1}})
+            journal.append({"e": "lease", "p": 1, "attempt": 1, "pid": 43})
+        state = journal.replay()
+        assert state.header["points"] == 2
+        assert state.points[0].status == "done"
+        assert state.points[0].output == {"v": 1}
+        # leased-but-not-done means the coordinator died mid-flight:
+        # the point must be runnable again on resume
+        assert state.points[1].status == "leased"
+        assert state.points[1].runnable
+        assert not state.points[0].runnable
+
+    def test_failed_then_done_is_done(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.append({"e": "lease", "p": 0, "attempt": 1})
+        journal.append({"e": "failed", "p": 0, "attempt": 1, "error": "boom"})
+        journal.append({"e": "lease", "p": 0, "attempt": 2})
+        journal.append({"e": "done", "p": 0, "attempt": 2, "output": {"v": 2}})
+        point = journal.replay().points[0]
+        assert point.status == "done"
+        assert point.attempts == 2
+        assert point.output == {"v": 2}
+
+    def test_quarantine_is_terminal(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.append({"e": "failed", "p": 3, "attempt": 2, "error": "poison"})
+        journal.append({"e": "quarantined", "p": 3, "attempt": 2})
+        state = journal.replay()
+        assert state.points[3].status == "quarantined"
+        assert not state.points[3].runnable
+        assert state.points[3].error == "poison"
+        assert state.quarantined == [3]
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        # a coordinator SIGKILLed mid-append leaves a truncated line;
+        # everything fsynced before it must still replay
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.append({"e": "done", "p": 0, "attempt": 1, "output": {"v": 1}})
+        journal.close()
+        with open(journal.path, "a") as fh:
+            fh.write('{"e": "done", "p": 1, "attempt": 1, "out')
+        state = journal.replay()
+        assert state.points[0].status == "done"
+        assert 1 not in state.points
+
+    def test_unknown_events_are_skipped(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.append({"e": "resume", "pending": 2})
+        journal.append({"e": "heartbeat-from-the-future", "p": 0})
+        journal.append({"e": "done", "p": 0, "attempt": 1, "output": {}})
+        assert journal.replay().points[0].status == "done"
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "nope.jsonl")
+        assert not journal.exists
+        state = journal.replay()
+        assert state.header is None and state.points == {}
+
+    def test_discard_removes_previous_journal(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.append({"e": "campaign"})
+        assert journal.exists
+        journal.discard()
+        assert not journal.exists
+        journal.discard()        # idempotent on a missing file
+
+    def test_events_are_jsonl(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.append({"e": "lease", "p": 0, "attempt": 1})
+        journal.append({"e": "done", "p": 0, "attempt": 1, "output": {"v": 1}})
+        journal.close()
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(isinstance(json.loads(line), dict) for line in lines)

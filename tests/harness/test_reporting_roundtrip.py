@@ -37,6 +37,8 @@ def full_result() -> ExperimentResult:
                              "time": 1e-6, "phase": "exchange",
                              "message": "unordered conflicting access"}],
         campaign={"points": 5, "executed": 2, "cache_hits": 3},
+        failures=[{"point": 1, "app": "uts", "fingerprint": "ab12cd34ef56",
+                   "attempts": 3, "error": "worker killed by signal SIGKILL"}],
     )
 
 
