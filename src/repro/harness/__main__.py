@@ -13,6 +13,8 @@ Examples::
     python -m repro.harness f3_3 --durable --jobs 4 --point-timeout 120
     python -m repro.harness f3_3 --resume
     python -m repro.harness t3_1 --chaos "kill:point=1,attempt=1;seed=7"
+    python -m repro.harness f4_2 --summary-dir .summaries
+    python -m repro.harness --status .repro-cache
 """
 
 from __future__ import annotations
@@ -94,7 +96,22 @@ def main(argv=None) -> int:
                         help="seeded self-chaos injection for the durable "
                              "executor (e.g. 'kill:point=1,attempt=1;"
                              "halt:after=2;seed=7'); implies --durable")
+    parser.add_argument("--summary-dir", metavar="DIR",
+                        help="trace every campaign and write per-point "
+                             "summaries plus a merged campaign-summary.json "
+                             "under DIR, content-addressed by campaign "
+                             "fingerprint (see python -m repro.obs.analytics)")
+    parser.add_argument("--status", metavar="DIR", nargs="?",
+                        const=DEFAULT_CACHE_DIR,
+                        help="render the per-campaign state of every durable "
+                             "journal under DIR (a cache dir or a journals "
+                             f"dir; default {DEFAULT_CACHE_DIR}) and exit")
     args = parser.parse_args(argv)
+    if args.status is not None:
+        from repro.harness.status import render_status
+
+        print(render_status(args.status))
+        return 0
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.max_attempts < 1:
@@ -143,6 +160,7 @@ def main(argv=None) -> int:
                 max_attempts=args.max_attempts,
                 lease_timeout=args.lease_timeout,
                 chaos=args.chaos, journal_dir=args.journal_dir,
+                summary_dir=args.summary_dir,
             )
         except FaultError as exc:
             parser.error(f"--faults: {exc}")

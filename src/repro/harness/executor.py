@@ -76,6 +76,11 @@ class ExecutionBatch:
     #: finished tracers from every simulated run, in spec order
     #: (empty unless the batch was traced).
     tracers: List[Any] = field(default_factory=list)
+    #: the same tracers grouped per executed point — ``tracer_groups[i]``
+    #: holds point ``i``'s runs (a point may simulate several programs).
+    #: Empty unless the batch was traced; a quarantined point's slot is
+    #: an empty list.  The campaign summarizer keys on this grouping.
+    tracer_groups: List[List[Any]] = field(default_factory=list)
     #: sanitizer finding rows, in spec order (empty unless sanitized).
     findings: List[Dict[str, Any]] = field(default_factory=list)
     #: how many sanitizers were armed (== simulated runs when sanitizing).
@@ -112,10 +117,17 @@ class InlineExecutor:
                 from repro.obs.session import trace_session
 
                 session = stack.enter_context(trace_session("campaign"))
+            bounds: List[int] = []
             for spec in specs:
                 batch.outputs.append(execute_spec(spec))
+                if session is not None:
+                    bounds.append(len(session.tracers))
         if session is not None:
             batch.tracers = list(session.tracers)
+            lo = 0
+            for hi in bounds:
+                batch.tracer_groups.append(batch.tracers[lo:hi])
+                lo = hi
         if san_session is not None:
             batch.findings = [f.row() for f in san_session.findings]
             batch.sanitizer_runs = len(san_session.sanitizers)
@@ -210,6 +222,8 @@ class ParallelExecutor:
                 for payload in pool.map(_run_point, tasks):
                     batch.outputs.append(payload["output"])
                     batch.tracers.extend(payload["tracers"])
+                    if trace:
+                        batch.tracer_groups.append(list(payload["tracers"]))
                     batch.findings.extend(payload["findings"])
                     batch.sanitizer_runs += payload["sanitizer_runs"]
         except BrokenProcessPool as exc:

@@ -137,7 +137,8 @@ class QueueExecutor:
                  lease_s: float = 30.0, heartbeat_s: Optional[float] = None,
                  point_timeout: Optional[float] = None,
                  retry_base_s: float = 0.25,
-                 chaos: Optional[str] = None):
+                 chaos: Optional[str] = None,
+                 meta: Optional[Dict[str, Any]] = None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if max_attempts < 1:
@@ -155,6 +156,9 @@ class QueueExecutor:
         self.point_timeout = point_timeout
         self.retry_base_s = retry_base_s
         self.chaos = chaos
+        #: descriptive header fields (experiment id, scale) journaled so
+        #: ``--status`` can label the campaign; never part of identity.
+        self.meta = dict(meta) if meta else {}
 
     # -- retry policy -----------------------------------------------------
 
@@ -219,7 +223,8 @@ class QueueExecutor:
                     journal.discard()
                 journal.append({"e": "campaign", "fp": fingerprint,
                                 "points": total,
-                                "version": _package_version()})
+                                "version": _package_version(),
+                                **self.meta})
             pending = [i for i in range(total)
                        if outputs[i] is None and i not in quarantined]
             results = self._drain(specs, pending, attempts, journal, plan,
@@ -230,9 +235,13 @@ class QueueExecutor:
         for i in range(total):
             payload = results.get(i)
             if payload is None:
+                if trace:
+                    batch.tracer_groups.append([])
                 continue
             outputs[i] = payload["output"]
             tracers.extend(payload["tracers"])
+            if trace:
+                batch.tracer_groups.append(list(payload["tracers"]))
             findings.extend(payload["findings"])
             batch.sanitizer_runs += payload["sanitizer_runs"]
         for index, tracer in enumerate(tracers, start=1):

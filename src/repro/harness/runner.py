@@ -126,6 +126,7 @@ def run_experiment(
     lease_timeout: float = 30.0,
     chaos: Optional[str] = None,
     journal_dir: Optional[str] = None,
+    summary_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment's campaign; optionally trace and/or sanitize it.
 
@@ -154,6 +155,12 @@ def run_experiment(
     points — the final report is byte-identical to an uninterrupted run.
     ``chaos`` injects deterministic executor faults
     (:mod:`repro.harness.chaos`) for self-testing.
+
+    ``summary_dir`` arms the campaign-analytics completion hook: the
+    campaign runs traced and its per-point summaries plus the merged
+    ``campaign-summary.json`` are written content-addressed under that
+    root (see :mod:`repro.obs.analytics`), ready for ``python -m
+    repro.obs.analytics diff/check``.
     """
     exp = get_experiment(experiment_id)
     if faults and not exp.accepts_faults:
@@ -182,12 +189,19 @@ def run_experiment(
             jobs=jobs, journal_dir=journal_dir, resume=resume,
             max_attempts=max_attempts, lease_s=lease_timeout,
             point_timeout=point_timeout, chaos=chaos,
+            meta={"experiment": experiment_id, "scale": scale},
         )
     campaign = Campaign(exp, scale=scale, faults=faults, jobs=jobs,
                         cache=cache, executor=executor, chaos=chaos)
-    trace = bool(trace_path) or breakdown
+    trace = bool(trace_path) or breakdown or summary_dir is not None
     outcome = campaign.run(trace=trace, sanitize=sanitize)
     result = outcome.result
+    if summary_dir is not None:
+        from repro.harness.summaries import summarize_outcome
+
+        summary_path = summarize_outcome(outcome, experiment_id, scale,
+                                         summary_dir)
+        result.notes.append(f"campaign summary written to {summary_path}")
     if trace_path:
         from repro.obs.export import write_chrome_trace
 

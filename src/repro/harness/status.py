@@ -1,0 +1,76 @@
+"""Campaign status: render the durable journals' per-campaign state.
+
+``python -m repro.harness --status <cache-dir>`` replays every campaign
+journal under the cache directory (or a journal directory given
+directly) and renders one row per campaign: how many points are done,
+leased (in flight when the coordinator last wrote), failed awaiting
+retry, or quarantined, plus the total attempts spent.  A campaign whose
+coordinator died mid-flight shows up with leased/failed points — exactly
+the ones ``--resume`` would pick up.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.harness.journal import CampaignJournal
+from repro.harness.reporting import format_table
+
+__all__ = ["journal_status_rows", "render_status"]
+
+
+def _journals_dir(directory) -> Path:
+    """Accept either a cache dir (with a journals/ inside) or the
+    journal directory itself."""
+    directory = Path(directory)
+    nested = directory / "journals"
+    return nested if nested.is_dir() else directory
+
+
+def journal_status_rows(directory) -> List[Dict[str, Any]]:
+    """One status row per campaign journal under ``directory``, sorted
+    by journal filename (i.e. campaign fingerprint)."""
+    rows: List[Dict[str, Any]] = []
+    journals = _journals_dir(directory)
+    for path in sorted(journals.glob("*.jsonl")):
+        state = CampaignJournal(path).replay()
+        header = state.header or {}
+        total = header.get("points", len(state.points))
+        counts = {"done": 0, "leased": 0, "failed": 0, "quarantined": 0}
+        attempts = 0
+        for point in state.points.values():
+            if point.status in counts:
+                counts[point.status] += 1
+            attempts += point.attempts
+        if counts["done"] >= total and total > 0:
+            status = "complete"
+        elif counts["quarantined"]:
+            status = "degraded"
+        elif counts["leased"] or counts["failed"]:
+            status = "interrupted"
+        else:
+            status = "pending"
+        rows.append({
+            "campaign": path.stem,
+            "experiment": header.get("experiment", "?"),
+            "scale": header.get("scale", "?"),
+            "points": total,
+            "done": counts["done"],
+            "leased": counts["leased"],
+            "failed": counts["failed"],
+            "quarantined": counts["quarantined"],
+            "attempts": attempts,
+            "status": status,
+        })
+    return rows
+
+
+def render_status(directory) -> str:
+    """The ``--status`` report for one cache/journal directory."""
+    journals = _journals_dir(directory)
+    rows = journal_status_rows(directory)
+    if not rows:
+        return f"no campaign journals under {journals}"
+    header = f"campaign journals in {journals}:"
+    return header + "\n" + format_table(rows)

@@ -1,0 +1,169 @@
+"""Scaling-curve sanity checks over one campaign summary.
+
+A campaign that sweeps thread counts implies a scaling curve per
+configuration: simulated time should fall (speedup should rise) as
+threads are added, and parallel efficiency should decay smoothly, not
+cliff.  :func:`check_summary` groups a summary's points into scaling
+series — same app and spec, varying only the parallelism knobs
+(``threads``, ``threads_per_node``, ``nodes``) — and flags two anomaly
+shapes:
+
+* **non-monotone speedup**: speedup *drops* by more than ``rel_tol``
+  when parallelism increases — adding resources made the run slower;
+* **efficiency cliff**: parallel efficiency falls to less than ``cliff``
+  of its previous value in one sweep step — a contention or
+  serialization wall rather than gradual Amdahl decay.
+
+Series with fewer than ``min_points`` points are reported as skipped,
+never silently ignored.  Output ordering is deterministic (series sort
+by key, anomalies by position in the sweep).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.analytics.summary import SCHEMA_VERSION
+
+__all__ = ["Anomaly", "CheckReport", "check_summary"]
+
+#: Spec fields that *define* a scaling series rather than distinguish it.
+_PARALLELISM_KEYS = ("threads", "threads_per_node", "nodes")
+
+
+class Anomaly:
+    """One flagged point on one scaling series."""
+
+    __slots__ = ("series", "kind", "threads_before", "threads_after",
+                 "detail")
+
+    def __init__(self, series: str, kind: str, threads_before: int,
+                 threads_after: int, detail: str):
+        self.series = series
+        self.kind = kind            # "non-monotone-speedup" | "efficiency-cliff"
+        self.threads_before = threads_before
+        self.threads_after = threads_after
+        self.detail = detail
+
+    def row(self) -> Dict[str, Any]:
+        return {
+            "series": self.series, "kind": self.kind,
+            "threads_before": self.threads_before,
+            "threads_after": self.threads_after, "detail": self.detail,
+        }
+
+    def render(self) -> str:
+        return (f"{self.series}: {self.kind} at {self.threads_before} -> "
+                f"{self.threads_after} threads ({self.detail})")
+
+
+class CheckReport:
+    """All scaling series of one summary, with any anomalies."""
+
+    def __init__(self) -> None:
+        self.series: List[Dict[str, Any]] = []
+        self.anomalies: List[Anomaly] = []
+        self.skipped: List[str] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.anomalies
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "series": self.series,
+            "anomalies": [a.row() for a in self.anomalies],
+            "skipped": list(self.skipped),
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for series in self.series:
+            lines.append(f"series {series['key']}:")
+            for row in series["points"]:
+                lines.append(
+                    f"  threads={row['threads']:<5d} time={row['elapsed_s']:.6g}s"
+                    f"  speedup={row['speedup']:.3f}  eff={row['efficiency']:.3f}"
+                )
+        for name in self.skipped:
+            lines.append(f"skipped {name}: fewer points than --min-points")
+        if self.ok:
+            lines.append(
+                f"verdict: OK — {len(self.series)} scaling series, "
+                "no anomalies"
+            )
+        else:
+            for anomaly in self.anomalies:
+                lines.append(f"  ! {anomaly.render()}")
+            lines.append(
+                f"verdict: ANOMALOUS — {len(self.anomalies)} anomaly(ies) "
+                f"across {len(self.series)} scaling series"
+            )
+        return "\n".join(lines)
+
+
+def _series_key(point: Dict[str, Any]) -> Tuple[str, str, int]:
+    """(display key, grouping key, thread count) for a point's series."""
+    spec = dict(point.get("spec", {}))
+    threads = spec.get("threads", point.get("index", 0))
+    fixed = {k: v for k, v in spec.items() if k not in _PARALLELISM_KEYS}
+    app = str(point.get("app", "?"))
+    display_bits = [app]
+    for k in ("scale", "preset", "policy", "conduit", "faults"):
+        if fixed.get(k) is not None:
+            display_bits.append(f"{k}={fixed[k]}")
+    for k, v in sorted((fixed.get("extras") or {}).items()):
+        display_bits.append(f"{k}={v}")
+    display = " ".join(display_bits)
+    group = json.dumps({"app": app, "fixed": fixed}, sort_keys=True)
+    return display, group, threads
+
+
+def check_summary(summary: Dict[str, Any], *, rel_tol: float = 0.05,
+                  cliff: float = 0.4, min_points: int = 3) -> CheckReport:
+    """Scan one campaign summary for scaling anomalies (module docstring)."""
+    report = CheckReport()
+    if summary.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"summary schema {summary.get('schema')!r} does not match this "
+            f"build's {SCHEMA_VERSION}"
+        )
+    groups: Dict[str, Dict[str, Any]] = {}
+    for point in summary.get("points", []):
+        display, group, threads = _series_key(point)
+        bucket = groups.setdefault(group, {"display": display, "points": {}})
+        # same thread count twice in one series: keep the first (repeat runs)
+        bucket["points"].setdefault(int(threads), float(point["elapsed_s"]))
+
+    for group in sorted(groups, key=lambda g: groups[g]["display"]):
+        bucket = groups[group]
+        curve = sorted(bucket["points"].items())
+        if len(curve) < min_points:
+            report.skipped.append(bucket["display"])
+            continue
+        base_threads, base_time = curve[0]
+        rows: List[Dict[str, Any]] = []
+        for threads, elapsed in curve:
+            speedup = base_time / elapsed if elapsed > 0 else 0.0
+            scale = threads / base_threads if base_threads else 1.0
+            efficiency = speedup / scale if scale > 0 else 0.0
+            rows.append({"threads": threads, "elapsed_s": elapsed,
+                         "speedup": speedup, "efficiency": efficiency})
+        report.series.append({"key": bucket["display"], "points": rows})
+        for prev, cur in zip(rows, rows[1:]):
+            if cur["speedup"] < prev["speedup"] * (1.0 - rel_tol):
+                report.anomalies.append(Anomaly(
+                    bucket["display"], "non-monotone-speedup",
+                    prev["threads"], cur["threads"],
+                    f"speedup {prev['speedup']:.3f} -> {cur['speedup']:.3f}",
+                ))
+            elif cur["efficiency"] < cliff * prev["efficiency"]:
+                report.anomalies.append(Anomaly(
+                    bucket["display"], "efficiency-cliff",
+                    prev["threads"], cur["threads"],
+                    f"efficiency {prev['efficiency']:.3f} -> "
+                    f"{cur['efficiency']:.3f}",
+                ))
+    return report

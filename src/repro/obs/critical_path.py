@@ -27,6 +27,7 @@ from repro.obs import names
 from repro.obs.tracer import Tracer
 
 __all__ = [
+    "AttributionReport",
     "attribute_run",
     "breakdown_rows",
     "comm_matrix_rows",
@@ -161,24 +162,57 @@ def attribute_run(tracer: Tracer) -> Dict[str, float]:
     return totals
 
 
+class AttributionReport:
+    """Aggregated critical-path attribution for a set of traced runs.
+
+    One canonical fold of :func:`attribute_run` shared by the harness's
+    ``--report-breakdown`` rendering (:meth:`rows`) and the campaign
+    summarizer (:meth:`to_json`), so the two views can never disagree.
+    """
+
+    __slots__ = ("totals", "total_seconds")
+
+    def __init__(self, totals: Dict[str, float], total_seconds: float):
+        self.totals = totals
+        self.total_seconds = total_seconds
+
+    @classmethod
+    def from_tracers(cls, tracers) -> "AttributionReport":
+        totals = {c: 0.0 for c in names.BREAKDOWN_CATEGORIES}
+        grand = 0.0
+        for tracer in tracers:
+            per_run = attribute_run(tracer)
+            for cat, sec in per_run.items():
+                totals[cat] += sec
+            grand += tracer.end_time
+        return cls(totals, grand)
+
+    def share(self, category: str) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.totals[category] / self.total_seconds
+
+    def rows(self) -> List[dict]:
+        """Render-oriented rows (``--report-breakdown``), total last."""
+        rows = [{"category": cat, "seconds": self.totals[cat],
+                 "share": self.share(cat)}
+                for cat in names.BREAKDOWN_CATEGORIES]
+        rows.append({"category": "total", "seconds": self.total_seconds,
+                     "share": 1.0 if self.total_seconds > 0 else 0.0})
+        return rows
+
+    def to_json(self) -> Dict[str, object]:
+        """Stable machine-readable form (analytics summary schema)."""
+        return {
+            "categories": {cat: self.totals[cat]
+                           for cat in names.BREAKDOWN_CATEGORIES},
+            "total_seconds": self.total_seconds,
+        }
+
+
 def breakdown_rows(tracers) -> List[dict]:
     """Aggregate per-category attribution across runs into report rows."""
-    totals = {c: 0.0 for c in names.BREAKDOWN_CATEGORIES}
-    grand = 0.0
-    for tracer in tracers:
-        per_run = attribute_run(tracer)
-        for cat, sec in per_run.items():
-            totals[cat] += sec
-        grand += tracer.end_time
-    rows = []
-    for cat in names.BREAKDOWN_CATEGORIES:
-        rows.append({
-            "category": cat,
-            "seconds": totals[cat],
-            "share": (totals[cat] / grand) if grand > 0 else 0.0,
-        })
-    rows.append({"category": "total", "seconds": grand, "share": 1.0 if grand > 0 else 0.0})
-    return rows
+    return AttributionReport.from_tracers(tracers).rows()
 
 
 def comm_matrix_rows(tracers) -> List[dict]:

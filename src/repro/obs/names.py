@@ -41,6 +41,9 @@ __all__ = [
     "uts_steal",
     # other apps / mpi
     "GUPS_BUCKET_FLUSHES", "GUPS_REMOTE_UPDATES", "MPI_SENDS", "MPI_RECVS",
+    # simulation engine (repro.sim.engine, emitted under the tracer)
+    "ENGINE_EVENTS_POPPED", "ENGINE_HEAP_PEAK", "ENGINE_CONTEXT_SWITCHES",
+    "ENGINE_COSTED_CYCLES", "ENGINE_METRICS",
     # sanitizer (repro.analyze)
     "SAN_RACE_FINDINGS", "SAN_PRIVATIZATION_FINDINGS", "SAN_COLLECTIVE_FINDINGS",
     # registry
@@ -132,6 +135,26 @@ GUPS_REMOTE_UPDATES = "gups.remote_updates"
 MPI_SENDS = "mpi.sends"
 MPI_RECVS = "mpi.recvs"
 
+# -- simulation engine ----------------------------------------------------
+#
+# Tallied by repro.sim.engine only while a tracer is armed (the untraced
+# hot path keeps its one-attribute-load guard) and emitted as counter
+# samples at Tracer.finalize, so trace analytics can track the
+# engine-speedup roadmap item run over run.
+
+ENGINE_EVENTS_POPPED = "engine.events_popped"
+ENGINE_HEAP_PEAK = "engine.heap_peak"
+ENGINE_CONTEXT_SWITCHES = "engine.context_switches"
+ENGINE_COSTED_CYCLES = "engine.costed_cycles"
+
+#: Every engine metric, in emission order (the Simulator's tally keys).
+ENGINE_METRICS = (
+    ENGINE_EVENTS_POPPED,
+    ENGINE_HEAP_PEAK,
+    ENGINE_CONTEXT_SWITCHES,
+    ENGINE_COSTED_CYCLES,
+)
+
 # -- sanitizer (repro.analyze) --------------------------------------------
 
 SAN_RACE_FINDINGS = "sanitizer.race_findings"
@@ -176,6 +199,10 @@ REGISTRY = {
     GUPS_REMOTE_UPDATES: ("count", "RandomAccess remote table updates"),
     MPI_SENDS: ("count", "MPI point-to-point sends"),
     MPI_RECVS: ("count", "MPI point-to-point receives"),
+    ENGINE_EVENTS_POPPED: ("count", "engine: heap events executed"),
+    ENGINE_HEAP_PEAK: ("max", "engine: peak pending-event heap size"),
+    ENGINE_CONTEXT_SWITCHES: ("count", "engine: generator resumes (process steps)"),
+    ENGINE_COSTED_CYCLES: ("count", "engine: nonzero delays charged (cost yields)"),
     SAN_RACE_FINDINGS: ("count", "sanitizer: data races detected"),
     SAN_PRIVATIZATION_FINDINGS: ("count", "sanitizer: illegal privatized accesses"),
     SAN_COLLECTIVE_FINDINGS: ("count", "sanitizer: collective/barrier mismatches"),

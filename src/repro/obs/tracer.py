@@ -183,6 +183,10 @@ class Tracer(NullTracer):
         self.hook_counts: Dict[str, int] = {
             "spawned": 0, "blocked": 0, "resumed": 0, "killed": 0,
         }
+        #: engine self-measurement (events popped, heap peak, context
+        #: switches, costed cycles), copied off the simulator at
+        #: :meth:`finalize` so it survives detaching ``sim`` for pickling.
+        self.engine_metrics: Dict[str, int] = {}
         self.t_end: Optional[float] = None
         self._seq = 0
 
@@ -282,12 +286,26 @@ class Tracer(NullTracer):
     # -- finishing --------------------------------------------------------
 
     def finalize(self, t_end: float) -> None:
-        """Close open spans at ``t_end`` and fix the run's end time."""
+        """Close open spans at ``t_end`` and fix the run's end time.
+
+        Also harvests the simulator's engine self-measurement (tallied
+        only while this tracer was armed) into :attr:`engine_metrics`
+        and publishes each metric as a counter sample on the meta track,
+        so exported traces and offline analytics both see them.
+        """
+        first = self.t_end is None
         if self.t_end is None or t_end > self.t_end:
             self.t_end = t_end
         for span in self.spans:
             if span.t1 is None:
                 span.t1 = t_end
+        if first and self.sim is not None:
+            metrics = getattr(self.sim, "engine_metrics", None)
+            if metrics:
+                self.engine_metrics = {n: metrics[n]
+                                       for n in names.ENGINE_METRICS}
+                for name in names.ENGINE_METRICS:
+                    self.counter(META_TRACK, name, self.engine_metrics[name])
 
     @property
     def end_time(self) -> float:

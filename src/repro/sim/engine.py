@@ -28,6 +28,7 @@ import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.analyze.sanitizer import NULL_SANITIZER
+from repro.obs import names as _metric_names
 from repro.obs.tracer import NULL_TRACER
 
 __all__ = [
@@ -219,6 +220,8 @@ class Process(Awaitable):
         if self._done or self._cancelled:
             return
         self._waiting_on = None
+        if self.sim.tracer.enabled:
+            self.sim.engine_metrics[_metric_names.ENGINE_CONTEXT_SWITCHES] += 1
         try:
             if throw_exc is not None:
                 target = self.gen.throw(throw_exc)
@@ -357,6 +360,10 @@ class Simulator:
         #: Correctness sink (repro.analyze); same NULL-object discipline —
         #: `if self.sanitizer.enabled:` keeps unsanitized runs at full speed.
         self.sanitizer = NULL_SANITIZER
+        #: Engine self-measurement, tallied only while a tracer is armed
+        #: (the untraced hot path keeps its single-branch guard) and
+        #: published as counter samples by ``Tracer.finalize``.
+        self.engine_metrics: dict = {n: 0 for n in _metric_names.ENGINE_METRICS}
 
     # -- scheduling --------------------------------------------------
 
@@ -368,6 +375,16 @@ class Simulator:
                 f"cannot schedule at {time} before now={self.now}"
             )
         heapq.heappush(self._heap, (time, priority, next(self._seq), fn, args))
+        if self.tracer.enabled:
+            metrics = self.engine_metrics
+            if len(self._heap) > metrics[_metric_names.ENGINE_HEAP_PEAK]:
+                metrics[_metric_names.ENGINE_HEAP_PEAK] = len(self._heap)
+            if time > self.now:
+                # Every event at a *future* instant is one charged
+                # simulated cost — delays, resource transfers, network
+                # latencies; same-instant wakeups are scheduling
+                # artifacts and stay free.
+                metrics[_metric_names.ENGINE_COSTED_CYCLES] += 1
 
     def schedule_after(
         self, dt: float, fn: Callable, *args: Any, priority: int = 0
@@ -413,6 +430,8 @@ class Simulator:
                     break
                 heapq.heappop(self._heap)
                 self.now = time
+                if self.tracer.enabled:
+                    self.engine_metrics[_metric_names.ENGINE_EVENTS_POPPED] += 1
                 fn(*args)
             else:
                 if until is not None and until > self.now:
@@ -427,6 +446,8 @@ class Simulator:
             return False
         time, _prio, _seq, fn, args = heapq.heappop(self._heap)
         self.now = time
+        if self.tracer.enabled:
+            self.engine_metrics[_metric_names.ENGINE_EVENTS_POPPED] += 1
         fn(*args)
         return True
 

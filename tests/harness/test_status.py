@@ -1,0 +1,75 @@
+"""``--status``: rendering the durable journals' per-campaign state."""
+
+from repro.harness.__main__ import main as harness_main
+from repro.harness.journal import CampaignJournal
+from repro.harness.runner import run_experiment
+from repro.harness.status import journal_status_rows, render_status
+
+
+def _journal(tmp_path, name, events):
+    journal = CampaignJournal(tmp_path / f"{name}.jsonl")
+    for event in events:
+        journal.append(event)
+    journal.close()
+    return journal
+
+
+class TestStatusRows:
+    def test_complete_campaign(self, tmp_path):
+        _journal(tmp_path, "aa" * 8, [
+            {"e": "campaign", "fp": "aa" * 32, "points": 2, "version": "0",
+             "experiment": "t3_1", "scale": "quick"},
+            {"e": "lease", "p": 0, "attempt": 1},
+            {"e": "done", "p": 0, "attempt": 1, "output": {}},
+            {"e": "lease", "p": 1, "attempt": 1},
+            {"e": "done", "p": 1, "attempt": 1, "output": {}},
+        ])
+        (row,) = journal_status_rows(tmp_path)
+        assert row["experiment"] == "t3_1"
+        assert row["scale"] == "quick"
+        assert (row["points"], row["done"], row["status"]) == (2, 2,
+                                                               "complete")
+
+    def test_interrupted_and_degraded(self, tmp_path):
+        _journal(tmp_path, "bb" * 8, [
+            {"e": "campaign", "fp": "bb" * 32, "points": 3, "version": "0"},
+            {"e": "lease", "p": 0, "attempt": 1},
+            {"e": "done", "p": 0, "attempt": 1, "output": {}},
+            {"e": "lease", "p": 1, "attempt": 1},   # coordinator died here
+        ])
+        _journal(tmp_path, "cc" * 8, [
+            {"e": "campaign", "fp": "cc" * 32, "points": 1, "version": "0"},
+            {"e": "lease", "p": 0, "attempt": 1},
+            {"e": "failed", "p": 0, "attempt": 1, "error": "boom"},
+            {"e": "lease", "p": 0, "attempt": 2},
+            {"e": "failed", "p": 0, "attempt": 2, "error": "boom"},
+            {"e": "quarantined", "p": 0, "attempt": 2},
+        ])
+        rows = {r["campaign"]: r for r in journal_status_rows(tmp_path)}
+        assert rows["bb" * 8]["status"] == "interrupted"
+        assert rows["bb" * 8]["leased"] == 1
+        assert rows["cc" * 8]["status"] == "degraded"
+        assert rows["cc" * 8]["attempts"] == 2
+
+    def test_accepts_cache_dir_with_journals_inside(self, tmp_path):
+        journals = tmp_path / "journals"
+        journals.mkdir()
+        _journal(journals, "dd" * 8, [
+            {"e": "campaign", "fp": "dd" * 32, "points": 1, "version": "0"},
+        ])
+        assert journal_status_rows(tmp_path) == journal_status_rows(journals)
+
+    def test_empty_directory_renders_gracefully(self, tmp_path):
+        assert "no campaign journals" in render_status(tmp_path)
+
+
+class TestStatusCli:
+    def test_status_after_durable_run(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        result = run_experiment("t3_1", scale="quick",
+                                cache_dir=str(cache), durable=True)
+        assert result.shape_ok
+        assert harness_main(["--status", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "t3_1" in out
+        assert "complete" in out

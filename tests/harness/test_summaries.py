@@ -1,0 +1,106 @@
+"""Campaign summaries end to end: determinism, localization, wiring.
+
+The acceptance bar for the analytics pipeline: summarizing the same
+campaign twice — and once executed with ``--jobs 2`` — must produce a
+byte-identical ``campaign-summary.json``; a self-diff must report zero
+regressions; and a synthetic regression (a fault-degraded node) must be
+localized by ``diff`` to the affected experiment point.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.runner import run_experiment
+from repro.obs.analytics import diff_summaries, load_summary
+
+
+def _summary_bytes(root):
+    (directory,) = [d for d in root.iterdir() if d.is_dir()]
+    return (directory / "campaign-summary.json").read_bytes(), directory
+
+
+def _run(tmp_path, name, **kwargs):
+    root = tmp_path / name
+    result = run_experiment("t3_1", scale="quick", cache_dir=None,
+                            summary_dir=str(root), **kwargs)
+    assert result.shape_ok
+    return _summary_bytes(root)
+
+
+class TestDeterminism:
+    def test_rerun_and_jobs2_byte_identical(self, tmp_path):
+        inline_a, dir_a = _run(tmp_path, "a")
+        inline_b, _ = _run(tmp_path, "b")
+        parallel, dir_c = _run(tmp_path, "c", jobs=2)
+        assert inline_a == inline_b
+        assert inline_a == parallel
+        assert dir_a.name == dir_c.name  # same campaign fingerprint
+
+    def test_self_diff_reports_zero_regressions(self, tmp_path):
+        _, directory = _run(tmp_path, "a")
+        summary = load_summary(directory)
+        report = diff_summaries(summary, summary)
+        assert report.ok
+        assert report.deltas == []
+
+    def test_summary_carries_no_wallclock(self, tmp_path):
+        raw, _ = _run(tmp_path, "a")
+        doc = json.loads(raw)
+        # every point keys its content by spec fingerprint + index
+        for index, point in enumerate(doc["points"]):
+            assert point["index"] == index
+            assert len(point["fingerprint"]) == 64
+            assert point["elapsed_s"] > 0
+
+
+class TestRegressionLocalization:
+    def test_degraded_link_localized_to_point_and_phase(self, tmp_path):
+        base_root = tmp_path / "base"
+        deg_root = tmp_path / "deg"
+        run_experiment("r1", scale="quick", cache_dir=None,
+                       summary_dir=str(base_root))
+        run_experiment(
+            "r1", scale="quick", cache_dir=None,
+            faults="degrade:node=0,start=0,end=1,factor=0.25;seed=11",
+            summary_dir=str(deg_root))
+        base = load_summary(next(d for d in base_root.iterdir() if d.is_dir()))
+        degraded = load_summary(next(d for d in deg_root.iterdir()
+                                     if d.is_dir()))
+        report = diff_summaries(base, degraded)
+        assert not report.ok
+        regressed_points = {d.point for d in report.regressions}
+        # every flagged metric must localize to a single uts point, and
+        # the headline metrics must include the simulated-time blowup
+        assert len(regressed_points) == 1
+        assert all(d.label == "uts" for d in report.regressions)
+        assert "time" in {d.metric for d in report.regressions}
+
+
+class TestWiring:
+    def test_summary_dir_forces_tracing(self, tmp_path):
+        result = run_experiment("t3_1", scale="quick", cache_dir=None,
+                                summary_dir=str(tmp_path / "s"))
+        assert any("campaign summary written" in n for n in result.notes)
+
+    def test_untraced_batch_is_rejected(self, tmp_path):
+        from repro.harness.campaign import Campaign
+        from repro.harness.runner import get_experiment
+        from repro.harness.summaries import summarize_outcome
+
+        outcome = Campaign(get_experiment("t3_1")).run(trace=False)
+        with pytest.raises(ValueError, match="tracer group"):
+            summarize_outcome(outcome, "t3_1", "quick", tmp_path)
+
+    def test_summary_alongside_durable_journal(self, tmp_path):
+        cache = tmp_path / "cache"
+        result = run_experiment("t3_1", scale="quick",
+                                cache_dir=str(cache), durable=True,
+                                summary_dir=str(tmp_path / "s"))
+        assert result.shape_ok
+        journals = list((cache / "journals").glob("*.jsonl"))
+        assert journals
+        _, directory = _summary_bytes(tmp_path / "s")
+        summary = load_summary(directory)
+        assert summary["campaign"]["experiment"] == "t3_1"
+        assert summary["campaign"]["points"] == len(summary["points"])
