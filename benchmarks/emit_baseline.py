@@ -87,16 +87,27 @@ def calibrate(target_s: float = 0.2) -> float:
         n *= 2
 
 
-def _count_events(experiment_id: str) -> int:
-    """Deterministic event count for one experiment, via a traced run."""
+def _count_events(experiment_id: str):
+    """Deterministic event count + top-sites digest, via a traced+profiled run.
+
+    Returns ``(events, profile_top)`` where ``profile_top`` ranks the
+    top 5 sites by costed cycles (see :mod:`repro.obs.profile`) — like
+    the event count it is a pure function of the simulation, so the
+    digest is comparable across hosts and pins *where* a revision's
+    cycles went, not just how many there were.
+    """
     from repro.harness.campaign import Campaign
     from repro.harness.runner import get_experiment
     from repro.obs import names
+    from repro.obs.profile import cost_document, merge_snapshots
 
     outcome = Campaign(get_experiment(experiment_id),
-                       scale="quick").run(trace=True)
-    return sum(t.engine_metrics.get(names.ENGINE_EVENTS_POPPED, 0)
-               for t in outcome.batch.tracers)
+                       scale="quick").run(trace=True, profile=True)
+    events = sum(t.engine_metrics.get(names.ENGINE_EVENTS_POPPED, 0)
+                 for t in outcome.batch.tracers)
+    _host, tallies, runs = merge_snapshots(outcome.batch.profiles)
+    doc = cost_document(experiment_id, tallies, runs)
+    return events, doc["top"][:5]
 
 
 def _measure_wall(experiment_id: str, repeats: int) -> float:
@@ -115,9 +126,9 @@ def _measure_wall(experiment_id: str, repeats: int) -> float:
 
 def measure(repeats: int = DEFAULT_REPEATS) -> Dict[str, object]:
     calibration = calibrate()
-    experiments: Dict[str, Dict[str, float]] = {}
+    experiments: Dict[str, Dict[str, object]] = {}
     for experiment_id in PINNED_EXPERIMENTS:
-        events = _count_events(experiment_id)
+        events, profile_top = _count_events(experiment_id)
         wall = _measure_wall(experiment_id, repeats)
         events_per_s = events / wall if wall > 0 else 0.0
         experiments[experiment_id] = {
@@ -125,6 +136,7 @@ def measure(repeats: int = DEFAULT_REPEATS) -> Dict[str, object]:
             "wall_s": round(wall, 6),
             "events_per_s": round(events_per_s, 3),
             "normalized": round(events_per_s / calibration, 9),
+            "profile_top": profile_top,
         }
         print(f"{experiment_id}: {events} events, best wall "
               f"{wall:.3f}s, {events_per_s:,.0f} ev/s", file=sys.stderr)

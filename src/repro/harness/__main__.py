@@ -101,6 +101,12 @@ def main(argv=None) -> int:
                              "summaries plus a merged campaign-summary.json "
                              "under DIR, content-addressed by campaign "
                              "fingerprint (see python -m repro.obs.analytics)")
+    parser.add_argument("--profile", metavar="DIR", dest="profile_dir",
+                        help="profile every campaign point (host wall-clock "
+                             "+ simulated cost) and write merged "
+                             "<id>-{host,cost}.{json,folded} artifacts under "
+                             "DIR (see python -m repro.obs.profile); leaves "
+                             "the rendered report byte-identical")
     parser.add_argument("--status", metavar="DIR", nargs="?",
                         const=DEFAULT_CACHE_DIR,
                         help="render the per-campaign state of every durable "
@@ -161,6 +167,7 @@ def main(argv=None) -> int:
                 lease_timeout=args.lease_timeout,
                 chaos=args.chaos, journal_dir=args.journal_dir,
                 summary_dir=args.summary_dir,
+                profile_dir=args.profile_dir,
             )
         except FaultError as exc:
             parser.error(f"--faults: {exc}")
@@ -176,6 +183,8 @@ def main(argv=None) -> int:
     report = "\n".join(chunks)
     if args.trace:
         print(f"trace written to {args.trace}")
+    if args.profile_dir:
+        print(f"profiles written to {args.profile_dir}")
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report)

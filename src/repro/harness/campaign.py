@@ -83,7 +83,8 @@ class Campaign:
             return list(self.experiment.points(self.scale, faults=self.faults))
         return list(self.experiment.points(self.scale))
 
-    def run(self, *, trace: bool = False, sanitize: bool = False) -> CampaignOutcome:
+    def run(self, *, trace: bool = False, sanitize: bool = False,
+            profile: bool = False) -> CampaignOutcome:
         specs = self.plan()
         if self.chaos is not None and self.cache is not None:
             # Self-chaos: clobber targeted cache entries *before* the
@@ -96,11 +97,12 @@ class Campaign:
         outputs: List[Optional[Dict[str, Any]]] = [None] * len(specs)
         pending: List[int] = []
         hits = 0
-        # Tracers and findings exist only on fresh executions, so an
-        # observed campaign bypasses cache reads (a hit would silently
-        # drop that point from the trace); it still writes, so the next
-        # un-observed run starts warm.
-        use_cached = self.cache is not None and not (trace or sanitize)
+        # Tracers, findings and profiles exist only on fresh executions,
+        # so an observed campaign bypasses cache reads (a hit would
+        # silently drop that point from the trace/profile); it still
+        # writes, so the next un-observed run starts warm.
+        use_cached = self.cache is not None and not (trace or sanitize
+                                                     or profile)
         for i, spec in enumerate(specs):
             cached = self.cache.get(spec) if use_cached else None
             if cached is not None:
@@ -109,7 +111,8 @@ class Campaign:
             else:
                 pending.append(i)
         batch = self.executor.run([specs[i] for i in pending],
-                                  trace=trace, sanitize=sanitize)
+                                  trace=trace, sanitize=sanitize,
+                                  profile=profile)
         for i, output in zip(pending, batch.outputs):
             outputs[i] = output
             # Quarantined points have no output; nothing to cache.

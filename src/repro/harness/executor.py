@@ -81,6 +81,10 @@ class ExecutionBatch:
     #: Empty unless the batch was traced; a quarantined point's slot is
     #: an empty list.  The campaign summarizer keys on this grouping.
     tracer_groups: List[List[Any]] = field(default_factory=list)
+    #: per-point profile snapshots (:meth:`ProfileSession.snapshot`), in
+    #: spec order; empty unless the batch was profiled.  A quarantined
+    #: point's slot is None — merged profiles cover only healthy points.
+    profiles: List[Optional[Dict[str, Any]]] = field(default_factory=list)
     #: sanitizer finding rows, in spec order (empty unless sanitized).
     findings: List[Dict[str, Any]] = field(default_factory=list)
     #: how many sanitizers were armed (== simulated runs when sanitizing).
@@ -100,7 +104,7 @@ class InlineExecutor:
     jobs = 1
 
     def run(self, specs: Sequence[RunSpec], *, trace: bool = False,
-            sanitize: bool = False) -> ExecutionBatch:
+            sanitize: bool = False, profile: bool = False) -> ExecutionBatch:
         from contextlib import ExitStack
 
         batch = ExecutionBatch()
@@ -119,7 +123,17 @@ class InlineExecutor:
                 session = stack.enter_context(trace_session("campaign"))
             bounds: List[int] = []
             for spec in specs:
-                batch.outputs.append(execute_spec(spec))
+                if profile:
+                    # One profile session *per point* (not per campaign,
+                    # unlike the trace session) so inline and parallel
+                    # batches merge to byte-identical cost profiles.
+                    from repro.obs.profile import profile_session
+
+                    with profile_session(spec.app) as psession:
+                        batch.outputs.append(execute_spec(spec))
+                    batch.profiles.append(psession.snapshot())
+                else:
+                    batch.outputs.append(execute_spec(spec))
                 if session is not None:
                     bounds.append(len(session.tracers))
         if session is not None:
@@ -134,8 +148,8 @@ class InlineExecutor:
         return batch
 
 
-def _compute_payload(spec: RunSpec, trace: bool,
-                     sanitize: bool) -> Dict[str, Any]:
+def _compute_payload(spec: RunSpec, trace: bool, sanitize: bool,
+                     profile: bool = False) -> Dict[str, Any]:
     """One spec inside its own trace/sanitize sessions → picklable payload.
 
     Tracers are detached from their simulator (``sim`` holds generators,
@@ -146,7 +160,7 @@ def _compute_payload(spec: RunSpec, trace: bool,
     from contextlib import ExitStack
 
     payload: Dict[str, Any] = {"tracers": [], "findings": [],
-                               "sanitizer_runs": 0}
+                               "sanitizer_runs": 0, "profile": None}
     with ExitStack() as stack:
         san_session = None
         if sanitize:
@@ -158,7 +172,14 @@ def _compute_payload(spec: RunSpec, trace: bool,
             from repro.obs.session import trace_session
 
             session = stack.enter_context(trace_session(spec.app))
+        psession = None
+        if profile:
+            from repro.obs.profile import profile_session
+
+            psession = stack.enter_context(profile_session(spec.app))
         payload["output"] = execute_spec(spec)
+    if psession is not None:
+        payload["profile"] = psession.snapshot()
     if session is not None:
         for tracer in session.tracers:
             tracer.sim = None
@@ -177,7 +198,7 @@ def _run_point(args) -> Dict[str, Any]:
     raises after computing, ``kill`` SIGKILLs the worker right before it
     would report — the BrokenProcessPool case a real OOM kill produces.
     """
-    index, spec, trace, sanitize, chaos_spec = args
+    index, spec, trace, sanitize, profile, chaos_spec = args
     plan = None
     if chaos_spec:
         from repro.harness.chaos import ChaosPlan
@@ -186,7 +207,7 @@ def _run_point(args) -> Dict[str, Any]:
     fingerprint = spec.fingerprint()
     if plan is not None and plan.decide("stall", index, fingerprint, 1):
         time.sleep(3600.0)
-    payload = _compute_payload(spec, trace, sanitize)
+    payload = _compute_payload(spec, trace, sanitize, profile)
     if plan is not None:
         if plan.decide("fail", index, fingerprint, 1):
             raise RuntimeError(f"chaos: injected failure at point {index}")
@@ -205,7 +226,7 @@ class ParallelExecutor:
         self.chaos = chaos
 
     def run(self, specs: Sequence[RunSpec], *, trace: bool = False,
-            sanitize: bool = False) -> ExecutionBatch:
+            sanitize: bool = False, profile: bool = False) -> ExecutionBatch:
         if not specs:
             return ExecutionBatch()
         from concurrent.futures import ProcessPoolExecutor
@@ -213,7 +234,7 @@ class ParallelExecutor:
 
         batch = ExecutionBatch()
         workers = min(self.jobs, len(specs))
-        tasks = [(i, spec, trace, sanitize, self.chaos)
+        tasks = [(i, spec, trace, sanitize, profile, self.chaos)
                  for i, spec in enumerate(specs)]
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -224,6 +245,8 @@ class ParallelExecutor:
                     batch.tracers.extend(payload["tracers"])
                     if trace:
                         batch.tracer_groups.append(list(payload["tracers"]))
+                    if profile:
+                        batch.profiles.append(payload["profile"])
                     batch.findings.extend(payload["findings"])
                     batch.sanitizer_runs += payload["sanitizer_runs"]
         except BrokenProcessPool as exc:

@@ -26,10 +26,11 @@ The coordinator is the journal's only writer (workers report through
 pipes), which keeps the journal single-writer-append-only — the same
 property that makes its replay trivially consistent.
 
-Observability caveat: replayed outputs carry no tracers (they were
-produced by a dead process), so a traced or sanitized run ignores the
-replay and re-executes every point — mirroring how the campaign cache
-bypasses reads under ``--trace``/``--sanitize``.
+Observability caveat: replayed outputs carry no tracers or profiles
+(they were produced by a dead process), so a traced, sanitized or
+profiled run ignores the replay and re-executes every point — mirroring
+how the campaign cache bypasses reads under
+``--trace``/``--sanitize``/``--profile``.
 """
 
 from __future__ import annotations
@@ -57,8 +58,8 @@ _STALL_S = 3600.0
 
 
 def _queue_worker(conn, index: int, spec: RunSpec, attempt: int,
-                  trace: bool, sanitize: bool, chaos_spec: Optional[str],
-                  heartbeat_s: float) -> None:
+                  trace: bool, sanitize: bool, profile: bool,
+                  chaos_spec: Optional[str], heartbeat_s: float) -> None:
     """Worker entry: compute one point, heartbeat while doing so.
 
     All reporting goes through ``conn``: ``("hb", i)`` keeps the lease
@@ -91,7 +92,7 @@ def _queue_worker(conn, index: int, spec: RunSpec, attempt: int,
     try:
         if stalled:
             time.sleep(_STALL_S)
-        payload = _compute_payload(spec, trace, sanitize)
+        payload = _compute_payload(spec, trace, sanitize, profile)
         if plan is not None:
             if plan.decide("fail", index, fingerprint, attempt):
                 raise RuntimeError(f"chaos: injected failure at point {index}")
@@ -180,7 +181,7 @@ class QueueExecutor:
     # -- the campaign loop ------------------------------------------------
 
     def run(self, specs: Sequence[RunSpec], *, trace: bool = False,
-            sanitize: bool = False) -> ExecutionBatch:
+            sanitize: bool = False, profile: bool = False) -> ExecutionBatch:
         batch = ExecutionBatch()
         if not specs:
             return batch
@@ -211,7 +212,8 @@ class QueueExecutor:
                     if not 0 <= i < total:
                         continue
                     attempts[i] = point.attempts
-                    if point.status == "done" and not (trace or sanitize):
+                    if point.status == "done" and not (trace or sanitize
+                                                      or profile):
                         outputs[i] = point.output
                         replayed += 1
                     elif point.status == "quarantined":
@@ -228,7 +230,7 @@ class QueueExecutor:
             pending = [i for i in range(total)
                        if outputs[i] is None and i not in quarantined]
             results = self._drain(specs, pending, attempts, journal, plan,
-                                  trace, sanitize, quarantined)
+                                  trace, sanitize, profile, quarantined)
 
         tracers: List[Any] = []
         findings: List[Dict[str, Any]] = []
@@ -237,11 +239,18 @@ class QueueExecutor:
             if payload is None:
                 if trace:
                     batch.tracer_groups.append([])
+                if profile:
+                    # Quarantined/replayed-missing points contribute no
+                    # profile; the merged artifact covers only the
+                    # healthy remainder.
+                    batch.profiles.append(None)
                 continue
             outputs[i] = payload["output"]
             tracers.extend(payload["tracers"])
             if trace:
                 batch.tracer_groups.append(list(payload["tracers"]))
+            if profile:
+                batch.profiles.append(payload["profile"])
             findings.extend(payload["findings"])
             batch.sanitizer_runs += payload["sanitizer_runs"]
         for index, tracer in enumerate(tracers, start=1):
@@ -259,7 +268,8 @@ class QueueExecutor:
         return batch
 
     def _drain(self, specs, pending, attempts, journal, plan,
-               trace, sanitize, quarantined) -> Dict[int, Dict[str, Any]]:
+               trace, sanitize, profile,
+               quarantined) -> Dict[int, Dict[str, Any]]:
         """Run every pending point to done or quarantine; the inner loop."""
         import multiprocessing as mp
         from multiprocessing.connection import wait as conn_wait
@@ -277,7 +287,7 @@ class QueueExecutor:
             proc = ctx.Process(
                 target=_queue_worker,
                 args=(child_conn, point, specs[point], attempt, trace,
-                      sanitize, self.chaos, self.heartbeat_s),
+                      sanitize, profile, self.chaos, self.heartbeat_s),
                 daemon=True,
             )
             proc.start()

@@ -127,6 +127,7 @@ def run_experiment(
     chaos: Optional[str] = None,
     journal_dir: Optional[str] = None,
     summary_dir: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment's campaign; optionally trace and/or sanitize it.
 
@@ -161,6 +162,12 @@ def run_experiment(
     ``campaign-summary.json`` are written content-addressed under that
     root (see :mod:`repro.obs.analytics`), ready for ``python -m
     repro.obs.analytics diff/check``.
+
+    ``profile_dir`` arms :mod:`repro.obs.profile` per point and writes
+    the merged ``<experiment>-{host,cost}.{json,folded}`` artifacts
+    there.  Profiling appends no result note, so a profiled untraced
+    run's rendered report stays byte-identical to a plain run (the same
+    zero-perturbation contract the tracer honors for simulated results).
     """
     exp = get_experiment(experiment_id)
     if faults and not exp.accepts_faults:
@@ -194,8 +201,13 @@ def run_experiment(
     campaign = Campaign(exp, scale=scale, faults=faults, jobs=jobs,
                         cache=cache, executor=executor, chaos=chaos)
     trace = bool(trace_path) or breakdown or summary_dir is not None
-    outcome = campaign.run(trace=trace, sanitize=sanitize)
+    outcome = campaign.run(trace=trace, sanitize=sanitize,
+                           profile=profile_dir is not None)
     result = outcome.result
+    if profile_dir is not None:
+        from repro.obs.profile import write_profiles
+
+        write_profiles(profile_dir, experiment_id, outcome.batch.profiles)
     if summary_dir is not None:
         from repro.harness.summaries import summarize_outcome
 

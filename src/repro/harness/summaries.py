@@ -44,9 +44,13 @@ def summarize_outcome(outcome, experiment_id: str, scale: str,
     """Write one finished campaign's summary artifacts; returns the dir.
 
     Requires the campaign to have run traced: the per-point tracer
-    groups on the batch are the raw material.  A quarantined point's
-    group is empty and summarizes to zeros — its identity still appears
-    so diffs against a healthy run localize the hole.
+    groups on the batch are the raw material.  Quarantined points are
+    **excluded** — an empty group would summarize to zeros, and a zero
+    row is indistinguishable from a genuinely idle point, which poisons
+    ``diff``/``trend`` baselines.  Their indices are recorded in the
+    header's ``quarantined`` list instead, and the healthy points keep
+    their campaign-global indices (hence byte-identical artifacts to the
+    same points summarized from a fully healthy run).
     """
     specs = outcome.specs
     groups = outcome.batch.tracer_groups
@@ -56,8 +60,12 @@ def summarize_outcome(outcome, experiment_id: str, scale: str,
             "group(s) — summaries need a traced run (--summary-dir forces "
             "tracing; was the batch executed untraced?)"
         )
+    quarantined = sorted(f["point"] for f in outcome.failures)
+    skip = set(quarantined)
     points = []
     for index, (spec, tracers) in enumerate(zip(specs, groups)):
+        if index in skip:
+            continue
         meta = {
             "app": spec.app,
             "fingerprint": spec.fingerprint(),
@@ -65,4 +73,6 @@ def summarize_outcome(outcome, experiment_id: str, scale: str,
         }
         points.append(point_summary(index, meta, tracers))
     header = campaign_header(specs, experiment_id, scale)
+    if quarantined:
+        header["quarantined"] = quarantined
     return write_campaign(summary_root, header, points)

@@ -26,6 +26,7 @@ from repro.machine.memory import MemorySystem
 from repro.machine.presets import PlatformPreset, generic_smp
 from repro.network.conduits import conduit as lookup_conduit
 from repro.obs import names
+from repro.obs.profile.session import profiler_for
 from repro.obs.session import tracer_for
 from repro.obs.tracer import thread_track
 from repro.sim import Event, Simulator, StatsCollector, Store
@@ -87,6 +88,8 @@ class MpiProgram:
             for r in range(ranks):
                 self.sim.tracer.declare_track(thread_track(r))
         self.topo = self.preset.topology()
+        # Arm the cost profiler (no-op outside a profile_session).
+        self.sim.profiler = profiler_for(self.sim)
         self.stats = StatsCollector(self.sim)
         self.mem = MemorySystem(self.sim, self.topo, self.preset.memory)
         if ranks_per_node is None:

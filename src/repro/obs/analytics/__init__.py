@@ -15,6 +15,9 @@ merge-summary → cross-run-analysis shape of etanalyzer:
   verdicts (the regression-detection engine the perf roadmap needs).
 * :mod:`repro.obs.analytics.check` — flags scaling-curve anomalies
   (non-monotone speedup, efficiency cliffs) in a single summary.
+* :mod:`repro.obs.analytics.trend` — N-way trajectories across committed
+  ``BENCH_<rev>.json`` baselines and campaign summaries, with first-bad
+  revision bisect hints when a metric crosses its threshold.
 
 Everything here is a pure function of the summary artifacts: summarizing
 the same campaign twice — or the same campaign executed at ``--jobs 2``
@@ -29,6 +32,7 @@ Run as a CLI::
     python -m repro.obs.analytics summarize .summaries
     python -m repro.obs.analytics diff old/ new/
     python -m repro.obs.analytics check new/campaign-summary.json
+    python -m repro.obs.analytics trend benchmarks/baselines --check
 """
 
 from repro.obs.analytics.check import CheckReport, check_summary
@@ -44,11 +48,13 @@ from repro.obs.analytics.summary import (
     summarize_tracers,
     write_campaign,
 )
+from repro.obs.analytics.trend import TrendReport, trend_report
 
 __all__ = [
     "SCHEMA_VERSION",
     "CheckReport",
     "DiffReport",
+    "TrendReport",
     "canonical_dumps",
     "check_summary",
     "diff_summaries",
@@ -58,5 +64,6 @@ __all__ = [
     "point_summary",
     "summarize_campaign_dir",
     "summarize_tracers",
+    "trend_report",
     "write_campaign",
 ]

@@ -1,4 +1,4 @@
-"""CLI for campaign analytics: summarize / diff / check.
+"""CLI for campaign analytics: summarize / diff / check / trend.
 
 Examples::
 
@@ -10,6 +10,9 @@ Examples::
 
     # scan a summary's scaling curves for anomalies (exit 1 on anomalies)
     python -m repro.obs.analytics check .summaries/def456
+
+    # N-way trajectory over committed baselines, with bisect hints
+    python -m repro.obs.analytics trend benchmarks/baselines --check
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from repro.obs.analytics.summary import (
     load_summary,
     summarize_campaign_dir,
 )
+from repro.obs.analytics.trend import trend_report
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
@@ -66,6 +70,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
     else:
         print(report.render())
     return 0 if report.ok else 1
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    report = trend_report(args.inputs, rel=args.rel)
+    if args.json:
+        print(canonical_dumps(report.to_json()), end="")
+    else:
+        print(report.render())
+    if args.check:
+        return 0 if report.ok else 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,6 +141,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--json", action="store_true",
                          help="emit the report as canonical JSON")
     p_check.set_defaults(func=_cmd_check)
+
+    p_trend = sub.add_parser(
+        "trend",
+        help="N-way perf trajectory over BENCH baselines and/or campaign "
+             "summaries, with first-bad bisect hints",
+    )
+    p_trend.add_argument(
+        "inputs", nargs="+",
+        help="BENCH_<rev>.json files, campaign summaries/dirs, or a "
+             "directory of BENCH_*.json baselines",
+    )
+    p_trend.add_argument(
+        "--rel", type=float, default=0.2,
+        help="relative move (vs the first point) that counts as a "
+             "threshold crossing (default 0.2)",
+    )
+    p_trend.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if the latest point is in a crossed (regressed) state",
+    )
+    p_trend.add_argument("--json", action="store_true",
+                         help="emit the report as canonical JSON")
+    p_trend.set_defaults(func=_cmd_trend)
     return parser
 
 

@@ -210,9 +210,18 @@ def diff_summaries(before: Dict[str, Any], after: Dict[str, Any], *,
             delta = value_b - value_a
             floor = (share_floor * time_scale if basis == "seconds"
                      else count_floor)
+            if floor <= 0.0:
+                # Degenerate time scale (both sides idle, or a summary
+                # with elapsed_s 0): fall back to an absolute floor so a
+                # zero-baseline metric cannot auto-flag on noise.
+                floor = share_floor
             if abs(delta) <= floor:
                 continue
-            if value_a > 0 and abs(delta) / value_a <= rel:
+            # Relative guard with a positive denominator: an absent or
+            # zero baseline compares against the floor instead, so the
+            # 0 -> X direction still flags once X clears the floor and
+            # the division can never blow up.
+            if abs(delta) / max(value_a, floor) <= rel:
                 continue
             kind = _REGRESSION if delta > 0 else _IMPROVEMENT
             report.deltas.append(

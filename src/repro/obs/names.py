@@ -46,6 +46,10 @@ __all__ = [
     "ENGINE_COSTED_CYCLES", "ENGINE_METRICS",
     # sanitizer (repro.analyze)
     "SAN_RACE_FINDINGS", "SAN_PRIVATIZATION_FINDINGS", "SAN_COLLECTIVE_FINDINGS",
+    # profiler (repro.obs.profile)
+    "PROF_HOST_CALLS", "PROF_HOST_WALL_US",
+    "PROF_COST_EVENTS", "PROF_COST_CYCLES", "PROF_COST_SWITCHES",
+    "PROF_HOST_METRICS", "PROF_COST_METRICS",
     # registry
     "REGISTRY", "all_metric_names",
 ]
@@ -161,6 +165,25 @@ SAN_RACE_FINDINGS = "sanitizer.race_findings"
 SAN_PRIVATIZATION_FINDINGS = "sanitizer.privatization_findings"
 SAN_COLLECTIVE_FINDINGS = "sanitizer.collective_findings"
 
+# -- profiler (repro.obs.profile) -----------------------------------------
+#
+# The host wall-clock profiler weighs folded stacks by Python call counts
+# (a pure function of the simulation, so site *rankings* reproduce across
+# runs) and carries raw wall microseconds alongside; the simulated-cost
+# profiler attributes the engine's costed cycles and context switches to
+# curated sites and is byte-deterministic end to end.
+
+PROF_HOST_CALLS = "profile.host.calls"
+PROF_HOST_WALL_US = "profile.host.wall_us"
+PROF_COST_EVENTS = "profile.cost.events"
+PROF_COST_CYCLES = "profile.cost.cycles"
+PROF_COST_SWITCHES = "profile.cost.switches"
+
+#: Weight fields carried by every host-profile stack/site row.
+PROF_HOST_METRICS = (PROF_HOST_CALLS, PROF_HOST_WALL_US)
+#: Weight fields carried by every cost-profile site row.
+PROF_COST_METRICS = (PROF_COST_EVENTS, PROF_COST_CYCLES, PROF_COST_SWITCHES)
+
 # -- registry -------------------------------------------------------------
 
 #: name -> (kind, meaning).  ``kind`` is how the StatsCollector stores it.
@@ -206,6 +229,11 @@ REGISTRY = {
     SAN_RACE_FINDINGS: ("count", "sanitizer: data races detected"),
     SAN_PRIVATIZATION_FINDINGS: ("count", "sanitizer: illegal privatized accesses"),
     SAN_COLLECTIVE_FINDINGS: ("count", "sanitizer: collective/barrier mismatches"),
+    PROF_HOST_CALLS: ("count", "profiler: Python calls attributed to a site path"),
+    PROF_HOST_WALL_US: ("sum", "profiler: wall microseconds at a site path"),
+    PROF_COST_EVENTS: ("count", "profiler: engine events scheduled by a site"),
+    PROF_COST_CYCLES: ("count", "profiler: costed cycles charged by a site"),
+    PROF_COST_SWITCHES: ("count", "profiler: context switches into a site"),
 }
 
 

@@ -1,0 +1,99 @@
+"""Host wall-clock profiler: deterministic-ranking folded site stacks.
+
+Wraps a region of host execution in a ``sys.setprofile`` hook and
+attributes both **Python call counts** and **wall nanoseconds** to paths
+of curated sites (:mod:`repro.obs.profile.sites`).  Two design choices
+make the output usable as a cross-revision artifact:
+
+* **Sites, not frames.**  Consecutive frames resolving to the same site
+  collapse into one path element, and transparent frames (stdlib,
+  third-party, import machinery) never open a path element of their own
+  — their time accrues to the innermost enclosing site.  A profile
+  therefore has tens of rows, not tens of thousands, and survives
+  refactors that rename functions within a layer.
+* **Deterministic ranking.**  Call counts are a pure function of the
+  simulation (the event loop fixes execution order), so ranking sites by
+  calls reproduces across runs on any host; wall times ride along as the
+  human-facing magnitude and are *expected* to jitter.  The folded
+  export weighs stacks by calls for exactly this reason.
+
+This module is the one place outside ``repro/harness`` allowed to read
+the wall clock (PGAS001 exemption): measuring host time is its job.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from repro.obs.profile.sites import site_for_code
+
+__all__ = ["HostProfiler"]
+
+
+class HostProfiler:
+    """A start/stop wall-clock profiler over curated site paths."""
+
+    def __init__(self) -> None:
+        #: site path -> [python calls, wall nanoseconds]
+        self.stats: Dict[Tuple[str, ...], List[int]] = {}
+        self._path: List[str] = []
+        self._pushed: List[bool] = []
+        self._last_ns = 0
+        self._active = False
+
+    # -- the profile hook --------------------------------------------------
+
+    def _accrue(self, now_ns: int) -> None:
+        path = tuple(self._path)
+        cell = self.stats.get(path)
+        if cell is None:
+            cell = self.stats[path] = [0, 0]
+        cell[1] += now_ns - self._last_ns
+        self._last_ns = now_ns
+
+    def _hook(self, frame, event, arg) -> None:
+        if event == "call":
+            self._accrue(time.perf_counter_ns())
+            site = site_for_code(frame.f_code)
+            path = self._path
+            if site is None:
+                self._pushed.append(False)
+                return
+            if not path or path[-1] != site:
+                path.append(site)
+                self._pushed.append(True)
+            else:
+                self._pushed.append(False)
+            key = tuple(path)
+            cell = self.stats.get(key)
+            if cell is None:
+                cell = self.stats[key] = [0, 0]
+            cell[0] += 1
+        elif event == "return":
+            self._accrue(time.perf_counter_ns())
+            if self._pushed and self._pushed.pop():
+                self._path.pop()
+        # c_call/c_return/c_exception: C time accrues to the current
+        # path automatically at the next Python-level event.
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._active:
+            raise RuntimeError("host profiler already started")
+        self._active = True
+        self._last_ns = time.perf_counter_ns()
+        sys.setprofile(self._hook)
+
+    def stop(self) -> None:
+        if not self._active:
+            return
+        sys.setprofile(None)
+        self._accrue(time.perf_counter_ns())
+        self._active = False
+        # Frames entered while profiling were popped by their returns or
+        # will never return to us; clear the bookkeeping either way.
+        self._path.clear()
+        self._pushed.clear()

@@ -1,0 +1,236 @@
+"""Profile documents: canonical JSON and folded-stack (flamegraph) export.
+
+One profiled run yields per-point **snapshots** (plain JSON-able lists,
+picklable across executor workers); this module merges them and renders
+the two artifact pairs the subsystem promises:
+
+* ``<label>-host.json`` / ``<label>-host.folded`` — wall-clock profile.
+  Folded lines are weighted by **Python calls**, the deterministic
+  weight, so ``flamegraph.pl`` output and top-site rankings reproduce
+  across runs; wall microseconds ride along inside the JSON.
+* ``<label>-cost.json`` / ``<label>-cost.folded`` — simulated-cost
+  profile.  Entirely a function of the simulation: byte-identical
+  across runs, executors and job counts.  Folded lines carry three
+  synthetic roots (``events``, ``cycles``, ``switches``) over
+  ``<phase>;<site>`` stacks.
+
+JSON documents are canonical (:func:`canonical_dumps`: sorted keys,
+compact separators, trailing newline) and self-describing::
+
+    {"schema": 1, "mode": "host"|"cost", "label": ..., "runs": N,
+     "stacks"|"phases": [...], "top": [[site, weight], ...]}
+
+Row metric keys are the registered :mod:`repro.obs.names` ``PROF_*``
+names, and every site must appear in ``KNOWN_SITES`` —
+:func:`validate_profile` enforces both.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs import names
+from repro.obs.analytics.summary import canonical_dumps
+from repro.obs.profile.sites import KNOWN_SITES, SITE_OTHER
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "host_document",
+    "cost_document",
+    "merge_snapshots",
+    "folded_lines",
+    "validate_profile",
+    "write_profiles",
+]
+
+PROFILE_SCHEMA = 1
+
+#: Weight used for ranking/folded export, per mode: the deterministic one.
+_RANK_KEY = {"host": names.PROF_HOST_CALLS, "cost": names.PROF_COST_CYCLES}
+
+
+def merge_snapshots(
+    snapshots: Iterable[Optional[Dict[str, Any]]],
+) -> Tuple[Dict[Tuple[str, ...], List[int]], Dict[Tuple[str, str], List[int]], int]:
+    """Sum per-point snapshots; returns (host stats, cost tallies, runs).
+
+    ``None`` entries (quarantined/failed points) are skipped so a
+    degraded campaign's profile covers exactly the healthy remainder.
+    """
+    host: Dict[Tuple[str, ...], List[int]] = {}
+    cost: Dict[Tuple[str, str], List[int]] = {}
+    runs = 0
+    for snap in snapshots:
+        if snap is None:
+            continue
+        runs += 1
+        for row in snap.get("host", ()):
+            path, calls, wall_ns = tuple(row[0]), row[1], row[2]
+            cell = host.setdefault(path, [0, 0])
+            cell[0] += calls
+            cell[1] += wall_ns
+        for row in snap.get("cost", ()):
+            phase, site = row[0], row[1]
+            cell = cost.setdefault((phase, site), [0, 0, 0])
+            cell[0] += row[2]
+            cell[1] += row[3]
+            cell[2] += row[4]
+    return host, cost, runs
+
+
+def _top(weights: Dict[str, int]) -> List[List[Any]]:
+    ranked = sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [[site, weight] for site, weight in ranked]
+
+
+def host_document(label: str,
+                  stats: Dict[Tuple[str, ...], List[int]],
+                  runs: int = 1) -> Dict[str, Any]:
+    """Canonical host-profile document from HostProfiler stats."""
+    rows = []
+    by_site: Dict[str, int] = {}
+    for path, (calls, wall_ns) in sorted(stats.items()):
+        stack = list(path) if path else [SITE_OTHER]
+        rows.append({
+            "stack": stack,
+            names.PROF_HOST_CALLS: calls,
+            names.PROF_HOST_WALL_US: wall_ns // 1000,
+        })
+        leaf = stack[-1]
+        by_site[leaf] = by_site.get(leaf, 0) + calls
+    return {
+        "schema": PROFILE_SCHEMA,
+        "mode": "host",
+        "label": label,
+        "runs": runs,
+        "stacks": rows,
+        "top": _top(by_site),
+    }
+
+
+def cost_document(label: str,
+                  tallies: Dict[Tuple[str, str], List[int]],
+                  runs: int = 1) -> Dict[str, Any]:
+    """Canonical cost-profile document from CostProfiler tallies."""
+    rows = []
+    by_site: Dict[str, int] = {}
+    for (phase, site), (events, cycles, switches) in sorted(tallies.items()):
+        rows.append({
+            "phase": phase,
+            "site": site,
+            names.PROF_COST_EVENTS: events,
+            names.PROF_COST_CYCLES: cycles,
+            names.PROF_COST_SWITCHES: switches,
+        })
+        by_site[site] = by_site.get(site, 0) + cycles
+    return {
+        "schema": PROFILE_SCHEMA,
+        "mode": "cost",
+        "label": label,
+        "runs": runs,
+        "phases": rows,
+        "top": _top(by_site),
+    }
+
+
+def folded_lines(doc: Dict[str, Any]) -> List[str]:
+    """Flamegraph-ready ``stack;frames weight`` lines, sorted."""
+    lines: List[str] = []
+    if doc["mode"] == "host":
+        for row in doc["stacks"]:
+            calls = row[names.PROF_HOST_CALLS]
+            if calls:
+                lines.append(";".join(row["stack"]) + f" {calls}")
+    else:
+        for row in doc["phases"]:
+            base = f"{row['phase']};{row['site']}"
+            for root, key in (("events", names.PROF_COST_EVENTS),
+                              ("cycles", names.PROF_COST_CYCLES),
+                              ("switches", names.PROF_COST_SWITCHES)):
+                weight = row[key]
+                if weight:
+                    lines.append(f"{root};{base} {weight}")
+    return sorted(lines)
+
+
+def _check_rows(doc: Dict[str, Any], errors: List[str]) -> None:
+    if doc["mode"] == "host":
+        for i, row in enumerate(doc.get("stacks", [])):
+            stack = row.get("stack")
+            if not stack or not isinstance(stack, list):
+                errors.append(f"stacks[{i}]: missing or empty stack")
+                continue
+            for site in stack:
+                if site not in KNOWN_SITES:
+                    errors.append(f"stacks[{i}]: unknown site {site!r}")
+            for key in names.PROF_HOST_METRICS:
+                value = row.get(key)
+                if not isinstance(value, int) or value < 0:
+                    errors.append(f"stacks[{i}]: bad {key}: {value!r}")
+    else:
+        for i, row in enumerate(doc.get("phases", [])):
+            if not isinstance(row.get("phase"), str):
+                errors.append(f"phases[{i}]: missing phase")
+            if row.get("site") not in KNOWN_SITES:
+                errors.append(f"phases[{i}]: unknown site {row.get('site')!r}")
+            for key in names.PROF_COST_METRICS:
+                value = row.get(key)
+                if not isinstance(value, int) or value < 0:
+                    errors.append(f"phases[{i}]: bad {key}: {value!r}")
+
+
+def validate_profile(doc: Any) -> List[str]:
+    """Schema-check one profile document; returns a list of problems."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != PROFILE_SCHEMA:
+        errors.append(f"schema: expected {PROFILE_SCHEMA}, got {doc.get('schema')!r}")
+    mode = doc.get("mode")
+    if mode not in ("host", "cost"):
+        errors.append(f"mode: expected host|cost, got {mode!r}")
+        return errors
+    if not isinstance(doc.get("label"), str):
+        errors.append("label: missing or not a string")
+    runs = doc.get("runs")
+    if not isinstance(runs, int) or runs < 0:
+        errors.append(f"runs: bad value {runs!r}")
+    rows_key = "stacks" if mode == "host" else "phases"
+    if not isinstance(doc.get(rows_key), list):
+        errors.append(f"{rows_key}: missing or not a list")
+        return errors
+    _check_rows(doc, errors)
+    top = doc.get("top")
+    if not isinstance(top, list):
+        errors.append("top: missing or not a list")
+    else:
+        for i, entry in enumerate(top):
+            if (not isinstance(entry, list) or len(entry) != 2
+                    or entry[0] not in KNOWN_SITES
+                    or not isinstance(entry[1], int)):
+                errors.append(f"top[{i}]: bad entry {entry!r}")
+    return errors
+
+
+def write_profiles(out_dir, label: str,
+                   snapshots: Sequence[Optional[Dict[str, Any]]]) -> List[Path]:
+    """Merge point snapshots and write both artifact pairs; returns paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    host_stats, cost_tallies, runs = merge_snapshots(snapshots)
+    written: List[Path] = []
+    for doc in (host_document(label, host_stats, runs),
+                cost_document(label, cost_tallies, runs)):
+        problems = validate_profile(doc)
+        if problems:  # a bug in this package, not in the run
+            raise ValueError(f"invalid {doc['mode']} profile: {problems}")
+        base = out / f"{label}-{doc['mode']}"
+        json_path = base.with_suffix(".json")
+        json_path.write_text(canonical_dumps(doc), encoding="utf-8")
+        folded_path = base.with_suffix(".folded")
+        folded_path.write_text(
+            "".join(line + "\n" for line in folded_lines(doc)),
+            encoding="utf-8")
+        written.extend([json_path, folded_path])
+    return written

@@ -1,0 +1,90 @@
+"""Profile sessions: arming both profilers for a region of host code.
+
+Mirrors :mod:`repro.obs.session` exactly: profiling is off by default; a
+:func:`profile_session` context manager arms it for the ``with`` body.
+While a session is active every :class:`~repro.upc.runtime.UpcProgram`
+(or :class:`~repro.mpi.comm.MpiProgram`) constructed attaches the
+session's shared :class:`~repro.obs.profile.cost.CostProfiler` to its
+simulator via :func:`profiler_for`; outside a session
+:func:`profiler_for` returns :data:`~repro.obs.profile.cost.NULL_PROFILER`
+and the engine hot paths stay on their no-op branch.
+
+The session also owns one :class:`~repro.obs.profile.host.HostProfiler`
+spanning the whole body — ``sys.setprofile`` is process-global, so one
+wall-clock profile per session is the honest granularity — while the
+cost profiler is shared across every run the session covers (a harness
+point is one session, so per-point snapshots fall out naturally).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Optional
+
+from repro.obs.profile.cost import NULL_PROFILER, CostProfiler
+from repro.obs.profile.host import HostProfiler
+
+__all__ = ["ProfileSession", "profile_session", "profiler_for",
+           "active_profile_session"]
+
+#: The module-global active session (None when profiling is off).
+_ACTIVE: Optional["ProfileSession"] = None
+
+
+class ProfileSession:
+    """One armed profiling region: a host profiler + a shared cost profiler."""
+
+    def __init__(self, label: str = "session"):
+        self.label = label
+        self.host = HostProfiler()
+        self.cost = CostProfiler()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The session's tallies as a plain JSON-able (picklable) dict.
+
+        This is the per-point payload executors ship back from workers;
+        :func:`repro.obs.profile.report.merge_snapshots` re-aggregates.
+        """
+        return {
+            "host": [
+                [list(path), calls, wall_ns]
+                for path, (calls, wall_ns) in sorted(self.host.stats.items())
+            ],
+            "cost": [
+                [phase, site, events, cycles, switches]
+                for (phase, site), (events, cycles, switches)
+                in sorted(self.cost.tallies.items())
+            ],
+        }
+
+
+def active_profile_session() -> Optional[ProfileSession]:
+    return _ACTIVE
+
+
+def profiler_for(sim):
+    """The session's cost profiler when armed, else the no-op profiler."""
+    if _ACTIVE is None:
+        return NULL_PROFILER
+    return _ACTIVE.cost
+
+
+@contextmanager
+def profile_session(label: str = "session"):
+    """Arm profiling for the ``with`` body; yields the :class:`ProfileSession`.
+
+    Sessions do not nest (same contract as :func:`~repro.obs.session.trace_session`):
+    ``sys.setprofile`` is process-global, so a second session would
+    silently steal the first one's hook.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a profile session is already active")
+    session = ProfileSession(label)
+    _ACTIVE = session
+    session.host.start()
+    try:
+        yield session
+    finally:
+        session.host.stop()
+        _ACTIVE = None

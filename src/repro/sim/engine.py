@@ -29,6 +29,7 @@ from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.analyze.sanitizer import NULL_SANITIZER
 from repro.obs import names as _metric_names
+from repro.obs.profile.cost import NULL_PROFILER
 from repro.obs.tracer import NULL_TRACER
 
 __all__ = [
@@ -222,6 +223,8 @@ class Process(Awaitable):
         self._waiting_on = None
         if self.sim.tracer.enabled:
             self.sim.engine_metrics[_metric_names.ENGINE_CONTEXT_SWITCHES] += 1
+        if self.sim.profiler.enabled:
+            self.sim.profiler.context_switch(self)
         try:
             if throw_exc is not None:
                 target = self.gen.throw(throw_exc)
@@ -360,6 +363,9 @@ class Simulator:
         #: Correctness sink (repro.analyze); same NULL-object discipline —
         #: `if self.sanitizer.enabled:` keeps unsanitized runs at full speed.
         self.sanitizer = NULL_SANITIZER
+        #: Cost profiler (repro.obs.profile); third consumer of the same
+        #: NULL-object discipline — unprofiled runs pay one guarded branch.
+        self.profiler = NULL_PROFILER
         #: Engine self-measurement, tallied only while a tracer is armed
         #: (the untraced hot path keeps its single-branch guard) and
         #: published as counter samples by ``Tracer.finalize``.
@@ -385,6 +391,10 @@ class Simulator:
                 # latencies; same-instant wakeups are scheduling
                 # artifacts and stay free.
                 metrics[_metric_names.ENGINE_COSTED_CYCLES] += 1
+        if self.profiler.enabled:
+            # Same costed/free split as the tracer's tally above, but
+            # attributed to the scheduling site rather than summed.
+            self.profiler.event_scheduled(fn, time > self.now)
 
     def schedule_after(
         self, dt: float, fn: Callable, *args: Any, priority: int = 0

@@ -90,6 +90,8 @@ class StatsCollector:
         if tk in self._open_timers:
             raise ValueError(f"timer {tk!r} already open")
         self._open_timers[tk] = self.sim.now
+        if self.sim.profiler.enabled:
+            self.sim.profiler.phase_started(name)
         tracer = self.sim.tracer
         if tracer.enabled:
             track = thread_track(key) if isinstance(key, int) else META_TRACK
@@ -104,6 +106,8 @@ class StatsCollector:
             raise ValueError(f"timer {tk!r} was not opened")
         elapsed = self.sim.now - start
         self.timers[tk] = self.timers.get(tk, 0.0) + elapsed
+        if self.sim.profiler.enabled:
+            self.sim.profiler.phase_ended(name)
         span = self._open_spans.pop(tk, None)
         if span is not None:
             self.sim.tracer.end(span)

@@ -31,6 +31,7 @@ from repro.machine.presets import PlatformPreset, generic_smp
 from repro.machine.topology import MachineTopology
 from repro.network.conduits import conduit as lookup_conduit
 from repro.obs import names
+from repro.obs.profile.session import profiler_for
 from repro.obs.session import tracer_for
 from repro.obs.tracer import thread_track
 from repro.sim import Event, SimBarrier, Simulator, SplittableRNG, StatsCollector
@@ -185,6 +186,8 @@ class UpcProgram:
         # Arm the sanitizer (no-op outside a sanitize_session); like the
         # tracer it lives on the simulator so every layer reaches it.
         self.sim.sanitizer = sanitizer_for(self)
+        # Arm the cost profiler (no-op outside a profile_session).
+        self.sim.profiler = profiler_for(self.sim)
         self.mem = MemorySystem(self.sim, self.topo, self.preset.memory)
 
         if threads_per_node is None:

@@ -23,6 +23,13 @@ class TestPGAS001Wallclock:
         src = "import time\nt0 = time.time()\n"
         assert codes(src, "src/repro/harness/runner.py") == []
 
+    def test_host_profiler_exempt(self):
+        # the host profiler's whole job is reading the wall clock
+        src = "import time\nnow = time.perf_counter_ns()\n"
+        assert codes(src, "src/repro/obs/profile/host.py") == []
+        # ...but the rest of the profile package is not exempt
+        assert codes(src, "src/repro/obs/profile/cost.py") == ["PGAS001"]
+
     def test_simulated_clock_fine(self):
         assert codes("t0 = upc.wtime()\nt1 = sim.now\n") == []
 
@@ -52,6 +59,14 @@ class TestPGAS003LiteralMetricName:
     def test_non_stats_receiver_fine(self):
         # Counter.count('x') and friends are not metric emitters
         assert codes("tally.count('x')\n") == []
+
+    def test_profiler_receiver_flagged(self):
+        # repro.obs.profile emitters follow the same registered-name rule
+        assert codes("profiler.count('profile.host.calls')\n") == ["PGAS003"]
+        assert codes("self.cost_profiler.record('x', 1)\n") == ["PGAS003"]
+
+    def test_profiler_constant_fine(self):
+        assert codes("profiler.count(names.PROF_HOST_CALLS)\n") == []
 
 
 class TestPGAS004PrivateData:

@@ -187,6 +187,36 @@ class TestDiff:
         report = diff_summaries(base, worse)
         assert [d.metric for d in report.regressions] == ["engine events"]
 
+    def test_zero_baseline_seconds_does_not_autoflag_noise(self):
+        # elapsed 0 on both sides degenerates the share floor to 0; the
+        # absolute fallback must still swallow sub-floor noise on a
+        # metric whose baseline is exactly 0.
+        base = _summary([_point(0, elapsed=0.0)])
+        base["points"][0]["phases"]["search"]["seconds"] = 0.0
+        near = copy.deepcopy(base)
+        near["points"][0]["phases"]["search"]["seconds"] = 0.005
+        assert diff_summaries(base, near).ok
+
+    def test_zero_baseline_flags_only_above_floor(self):
+        # 0 -> 0.5s is a real regression ("new" cost), not a divide-by-
+        # zero crash or a silently skipped cell.
+        base = _summary([_point(0)])
+        base["points"][0]["phases"]["search"]["seconds"] = 0.0
+        worse = copy.deepcopy(base)
+        worse["points"][0]["phases"]["search"]["seconds"] = 0.5
+        report = diff_summaries(base, worse)
+        assert [d.metric for d in report.regressions] == ["phase 'search'"]
+        assert "new" in report.regressions[0].render()
+
+    def test_metric_collapsing_to_zero_is_improvement(self):
+        # the opposite direction: X -> 0 is an improvement, never an error
+        base = _summary([_point(0)])
+        gone = copy.deepcopy(base)
+        gone["points"][0]["phases"]["search"]["seconds"] = 0.0
+        report = diff_summaries(base, gone)
+        assert report.ok
+        assert [d.metric for d in report.improvements] == ["phase 'search'"]
+
     def test_structural_mismatch_is_an_error(self):
         a = _summary([_point(0)], experiment="t3_1")
         b = _summary([_point(0)], experiment="f3_3")
