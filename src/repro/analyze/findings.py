@@ -1,7 +1,9 @@
-"""Sanitizer findings: one diagnostic per detected defect.
+"""Analyzer findings: one diagnostic per detected defect.
 
-A :class:`Finding` is deliberately plain data (no references into the
-simulated stack) so sessions can outlive the programs that produced them
+A :class:`Finding` (dynamic, from the sanitizer) and a
+:class:`StaticFinding` (static, from :mod:`repro.analyze.static`) are
+deliberately plain data — no references into the simulated stack or the
+parsed ASTs — so sessions can outlive the programs that produced them
 and the harness can serialize findings into reports.
 """
 
@@ -10,10 +12,61 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-__all__ = ["Finding", "render_findings", "CHECKERS"]
+__all__ = [
+    "Finding", "render_findings", "CHECKERS",
+    "StaticFinding", "RULES",
+]
 
 #: The three dynamic checkers (DESIGN.md §9).
 CHECKERS = ("race", "privatization", "collective")
+
+#: Every static rule id (DESIGN.md §14).  ``# noqa: PGASxxx`` may only
+#: name ids from this table; an unknown ``PGAS*`` id is itself a finding
+#: (PGAS009) so suppressions cannot silently rot.
+RULES = {
+    "PGAS000": "syntax error: the file could not be parsed",
+    "PGAS001": "wall-clock read in simulated code",
+    "PGAS002": "costed generator called but never driven",
+    "PGAS003": "literal metric name outside repro.obs.names",
+    "PGAS004": "SharedArray._data poked outside its accessors",
+    "PGAS009": "unknown PGAS rule id in a noqa suppression",
+    "PGAS010": "collective under thread-dependent control flow",
+    "PGAS011": "shared access provably local: privatization candidate",
+    "PGAS012": "loop-invariant remote access or affinity re-query in a loop",
+}
+
+
+@dataclass(frozen=True, order=True)
+class StaticFinding:
+    """One static-analyzer diagnostic, ordered for deterministic reports.
+
+    ``path`` is tree-relative posix (``repro/upc/forall.py``) so reports
+    and the committed baseline are independent of the checkout location;
+    ``symbol`` is the enclosing function's dotted name (empty at module
+    level).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    symbol: str
+    message: str
+
+    def row(self) -> Dict:
+        """Flat dict for JSON reports (report.py adds the fingerprint)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        where = f" [{self.symbol}]" if self.symbol else ""
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}{where}"
 
 
 @dataclass

@@ -1,6 +1,13 @@
-"""Static PGAS lint: repo-specific AST rules, stdlib only.
+"""Static PGAS lint: the legacy rules (PGAS001-004), stdlib only.
 
-Run as ``python -m repro.analyze.lint src`` (CI job ``lint-analyze``).
+This is now a thin compatibility shim over the static-analysis
+framework in :mod:`repro.analyze.static`, which owns the single walker,
+the noqa/suppression mechanism and the CLI.  Run the full analyzer
+(flow-sensitive rules PGAS010-012 included, baseline gate) as
+``python -m repro.analyze.static --check``; this module keeps the
+original fast path — legacy rules only — and its API
+(:class:`Violation`, :func:`lint_source`, :func:`lint_file`,
+:func:`lint_paths`, :func:`main`) for callers and tests.
 
 Rules
 -----
@@ -22,49 +29,28 @@ PGAS003
 PGAS004
     ``SharedArray._data`` is private to its accessors; touching it
     elsewhere bypasses cost charging and the sanitizer.
+PGAS009
+    ``# noqa: PGASxxx`` may only name known rules; an unknown ``PGAS*``
+    id suppresses nothing and is itself flagged so suppressions cannot
+    silently rot.
 
 ``# noqa: PGASxxx`` on the offending line suppresses a finding.  To add
-a rule: give it a code + message, extend :class:`_Visitor` with the AST
-pattern, and add a fixture to ``tests/analyze/test_lint.py``.
+a rule: register the id in :data:`repro.analyze.findings.RULES`, add a
+pass (or extend one) under ``repro.analyze.static``, and give it a
+fixture in ``tests/analyze``.
 """
 
 from __future__ import annotations
 
 import argparse
-import ast
-import re
 import sys
 from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.analyze.static import analyze_source
+
 __all__ = ["Violation", "lint_source", "lint_file", "lint_paths", "main"]
-
-#: module-level callables that read the host's wall clock
-_WALLCLOCK_TIME = {"time", "monotonic", "perf_counter", "process_time", "time_ns",
-                   "monotonic_ns", "perf_counter_ns"}
-_WALLCLOCK_DATETIME = {"now", "utcnow", "today"}
-
-#: methods returning simulated generators whose bare call is a no-op
-_COSTED_GENERATORS = {
-    "read_elem", "write_elem", "get_block", "put_block",
-    "barrier", "barrier_notify", "barrier_wait",
-    "compute", "compute_flops", "local_stream", "stream_from",
-    "charge_shared_accesses", "memput", "memget", "am_roundtrip",
-}
-
-#: StatsCollector emitters whose first argument is a metric name
-_STATS_EMITTERS = {"count", "add", "record"}
-
-#: path suffixes (posix) where the wall clock is legitimate: the harness
-#: measures wall time by design, and the host profiler's whole job is to
-#: read ``perf_counter_ns`` around simulated code.
-_WALLCLOCK_ALLOWED = ("repro/harness/", "repro/obs/profile/host.py")
-
-#: path suffixes allowed to touch SharedArray._data
-_DATA_ALLOWED = ("repro/upc/shared.py",)
-
-_NOQA_RE = re.compile(r"#\s*noqa:\s*([A-Z0-9, ]+)")
 
 
 @dataclass(frozen=True)
@@ -79,119 +65,13 @@ class Violation:
         return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
 
 
-def _noqa_codes(line: str) -> set:
-    m = _NOQA_RE.search(line)
-    if not m:
-        return set()
-    return {c.strip() for c in m.group(1).split(",") if c.strip()}
-
-
-class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, allow_wallclock: bool, allow_data: bool):
-        self.path = path
-        self.allow_wallclock = allow_wallclock
-        self.allow_data = allow_data
-        self.violations: List[Violation] = []
-
-    def _add(self, node: ast.AST, code: str, message: str) -> None:
-        self.violations.append(
-            Violation(self.path, node.lineno, node.col_offset, code, message)
-        )
-
-    # PGAS001 ------------------------------------------------------------
-    def visit_Call(self, node: ast.Call) -> None:
-        if not self.allow_wallclock:
-            func = node.func
-            if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
-                mod, attr = func.value.id, func.attr
-                if (mod == "time" and attr in _WALLCLOCK_TIME) or (
-                    mod in ("datetime", "date") and attr in _WALLCLOCK_DATETIME
-                ):
-                    self._add(
-                        node, "PGAS001",
-                        f"wall-clock call {mod}.{attr}() in simulated code "
-                        "(use upc.wtime() / sim.now)",
-                    )
-        # PGAS003 --------------------------------------------------------
-        func = node.func
-        if (
-            isinstance(func, ast.Attribute)
-            and func.attr in _STATS_EMITTERS
-            and node.args
-            and isinstance(node.args[0], ast.Constant)
-            and isinstance(node.args[0].value, str)
-            and self._is_stats_receiver(func.value)
-        ):
-            self._add(
-                node, "PGAS003",
-                f"metric name {node.args[0].value!r} is a string literal; "
-                "use a constant from repro.obs.names",
-            )
-        self.generic_visit(node)
-
-    @staticmethod
-    def _is_stats_receiver(expr: ast.expr) -> bool:
-        """``stats.count(...)``, ``self.stats.add(...)``, ``profiler.record(...)``.
-
-        Profiler receivers (``repro.obs.profile``) emit under the same
-        registered-name discipline as StatsCollector, so a literal
-        metric name through either is the same lint error.
-        """
-        if isinstance(expr, ast.Name):
-            return (expr.id in ("stats", "profiler")
-                    or expr.id.endswith(("_stats", "_profiler")))
-        if isinstance(expr, ast.Attribute):
-            return (expr.attr in ("stats", "profiler")
-                    or expr.attr.endswith(("_stats", "_profiler")))
-        return False
-
-    # PGAS002 ------------------------------------------------------------
-    def visit_Expr(self, node: ast.Expr) -> None:
-        call = node.value
-        if (
-            isinstance(call, ast.Call)
-            and isinstance(call.func, ast.Attribute)
-            and call.func.attr in _COSTED_GENERATORS
-        ):
-            self._add(
-                node, "PGAS002",
-                f"bare call to costed generator .{call.func.attr}(...): the "
-                "generator is dropped and the operation never happens; "
-                "drive it with 'yield from'",
-            )
-        self.generic_visit(node)
-
-    # PGAS004 ------------------------------------------------------------
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        if node.attr == "_data" and not self.allow_data:
-            self._add(
-                node, "PGAS004",
-                "._data accessed outside SharedArray's accessors (bypasses "
-                "cost charging and the sanitizer)",
-            )
-        self.generic_visit(node)
-
-
 def lint_source(source: str, path: str = "<string>") -> List[Violation]:
     """Lint one source string; path picks the per-file rule exemptions."""
-    posix = Path(path).as_posix()
-    allow_wallclock = any(suffix in posix for suffix in _WALLCLOCK_ALLOWED)
-    allow_data = any(posix.endswith(suffix) for suffix in _DATA_ALLOWED)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [Violation(path, exc.lineno or 0, exc.offset or 0, "PGAS000",
-                          f"syntax error: {exc.msg}")]
-    visitor = _Visitor(path, allow_wallclock, allow_data)
-    visitor.visit(tree)
-    lines = source.splitlines()
-    kept = []
-    for v in visitor.violations:
-        line = lines[v.line - 1] if 0 < v.line <= len(lines) else ""
-        if v.code in _noqa_codes(line):
-            continue
-        kept.append(v)
-    return kept
+    result = analyze_source(source, path, flow=False)
+    return [
+        Violation(f.path, f.line, f.col, f.rule, f.message)
+        for f in result.findings
+    ]
 
 
 def lint_file(path: Path) -> List[Violation]:
@@ -216,7 +96,9 @@ def lint_paths(paths: Sequence) -> List[Violation]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analyze.lint",
-        description="Repo-specific static rules for the simulated PGAS stack.",
+        description="Repo-specific static rules for the simulated PGAS stack "
+                    "(legacy rules; see repro.analyze.static for the full "
+                    "analyzer).",
     )
     parser.add_argument("paths", nargs="+", help="files or directories to lint")
     args = parser.parse_args(argv)

@@ -1,0 +1,115 @@
+"""CLI for the static PGAS analyzer (the ``lint-analyze`` CI gate).
+
+Usage::
+
+    python -m repro.analyze.static                    # scan src/repro
+    python -m repro.analyze.static --check            # gate vs baseline
+    python -m repro.analyze.static --update-baseline  # accept current set
+    python -m repro.analyze.static --json report.json # canonical report
+
+Default scan root is the installed ``repro`` package tree; the default
+baseline is ``analyze-baseline.json`` at the repo root (two levels above
+the package, the ``src`` layout).  Exit codes: 0 clean, 1 findings (or
+baseline drift under ``--check``), 2 usage/configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analyze.static import analyze_project, load_sources, load_tree
+from repro.analyze.static.baseline import (
+    compare, load_baseline, render_baseline,
+)
+from repro.analyze.static.report import build_report, render_text, to_json
+
+
+def _default_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _load(paths: List[str]):
+    if not paths:
+        return load_tree(_default_root())
+    if len(paths) == 1 and Path(paths[0]).is_dir():
+        return load_tree(Path(paths[0]))
+    sources = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            sources.extend(
+                (f.read_text(encoding="utf-8"), str(f))
+                for f in sorted(path.rglob("*.py"))
+            )
+        else:
+            sources.append((path.read_text(encoding="utf-8"), str(path)))
+    return load_sources(sources)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze.static",
+        description="Flow-aware static PGAS analyzer (rules PGAS001-012).",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or a package directory to analyze "
+                             "(default: the installed repro package)")
+    parser.add_argument("--check", action="store_true",
+                        help="gate against the committed baseline: fail on "
+                             "new findings AND on stale baseline entries")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="baseline path (default: analyze-baseline.json "
+                             "at the repo root)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the current findings as the new baseline")
+    parser.add_argument("--json", metavar="FILE",
+                        help="also write the canonical JSON report to FILE")
+    parser.add_argument("--no-flow", action="store_true",
+                        help="legacy rules only (skip CFG/dataflow passes)")
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline) if args.baseline else \
+        _default_root().parents[1] / "analyze-baseline.json"
+
+    project = _load(list(args.paths))
+    result = analyze_project(project, flow=not args.no_flow)
+
+    if args.update_baseline:
+        baseline_path.write_text(render_baseline(result.findings),
+                                 encoding="utf-8")
+        print(f"baseline written to {baseline_path} "
+              f"({len(result.findings)} finding(s))")
+        if args.json:
+            Path(args.json).write_text(to_json(build_report(result)),
+                                       encoding="utf-8")
+        return 0
+
+    diff = None
+    if args.check:
+        if not baseline_path.is_file():
+            print(f"error: no baseline at {baseline_path} (run "
+                  "--update-baseline first)", file=sys.stderr)
+            return 2
+        try:
+            diff = compare(result.findings, load_baseline(baseline_path))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    print(render_text(result, diff))
+    if args.json:
+        Path(args.json).write_text(to_json(build_report(result, diff)),
+                                   encoding="utf-8")
+        print(f"report written to {args.json}")
+    if diff is not None:
+        return 0 if diff.clean else 1
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""PGAS010: collective alignment (static single-valuedness check).
+
+Every UPC thread must execute the same sequence of collectives —
+barriers, split-phase notify/wait, team collectives, shared allocation.
+The dynamic collective checker proves this per run; this pass proves it
+per *program point*: a collective call (primitive, or a call resolving
+through the call graph to a collective-performing function) that is
+control-dependent on a thread-dependent branch condition, loop guard or
+loop iterable (see :mod:`.dataflow`) can desynchronize the threads on
+paths a campaign never executes.
+
+The check is intraprocedural over each SPMD function's CFG; call-graph
+summaries make calls through helpers (``collectives.exchange``,
+``shared_memory_group``) count as collectives at the call site.  Known
+limits: branches whose two arms perform *matching* collective sequences
+are still flagged (write the collective once, after the join), and
+in-place mutation is untracked (dataflow docstring).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analyze.findings import StaticFinding
+from repro.analyze.static.callgraph import CallGraph
+from repro.analyze.static.dataflow import TaintState
+from repro.analyze.static.loader import FunctionInfo, own_parents, walk_own
+
+__all__ = ["run"]
+
+
+def _governing_guards(parents, call: ast.Call):
+    """(guard expr, kind) pairs controlling whether/how often ``call`` runs."""
+    node: ast.AST = call
+    while id(node) in parents:
+        parent = parents[id(node)]
+        if isinstance(parent, ast.If) and node is not parent.test:
+            yield parent.test, "branch"
+        elif isinstance(parent, ast.While) and node is not parent.test:
+            yield parent.test, "while"
+        elif isinstance(parent, (ast.For, ast.AsyncFor)) and \
+                node not in (parent.iter, parent.target):
+            yield parent.iter, "for"
+        node = parent
+
+
+def run(fn: FunctionInfo, taint: TaintState,
+        callgraph: CallGraph) -> List[StaticFinding]:
+    findings: List[StaticFinding] = []
+    parents = own_parents(fn.node)
+    for node in walk_own(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        why = callgraph.is_collective_call(node, fn)
+        if why is None:
+            continue
+        for guard, kind in _governing_guards(parents, node):
+            if not taint.guard_tainted(guard):
+                continue
+            guard_src = ast.unparse(guard)
+            if kind == "branch":
+                shape = (f"reachable only under the thread-dependent branch "
+                         f"'{guard_src}' (line {guard.lineno})")
+            elif kind == "while":
+                shape = (f"inside a loop guarded by the thread-dependent "
+                         f"condition '{guard_src}' (line {guard.lineno})")
+            else:
+                shape = (f"inside a loop over the thread-dependent iterable "
+                         f"'{guard_src}' (line {guard.lineno})")
+            findings.append(StaticFinding(
+                path=fn.module.path, line=node.lineno, col=node.col_offset,
+                rule="PGAS010", symbol=fn.qualname,
+                message=(f"{why} is {shape}; threads can disagree on the "
+                         "collective sequence and deadlock (dynamic "
+                         "collective checker would fire at runtime)"),
+            ))
+            break  # one finding per collective call site
+    return findings

@@ -1,0 +1,114 @@
+"""Suppression baseline: the ratchet behind ``--check``.
+
+The committed ``analyze-baseline.json`` records the accepted findings
+as stable fingerprints — a hash of (rule, path, symbol, message, nth
+occurrence), deliberately *not* line numbers, so unrelated edits to a
+file don't invalidate its entries.  The gate fails on **both** sides of
+a drift:
+
+* a finding with no baseline entry — new debt; fix it or re-baseline
+  deliberately (``--update-baseline``);
+* a baseline entry with no finding — stale suppression; the gate makes
+  the ratchet click forward instead of letting dead entries accumulate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analyze.findings import StaticFinding
+
+__all__ = [
+    "BASELINE_SCHEMA", "BaselineDiff",
+    "fingerprint_findings", "load_baseline", "render_baseline", "compare",
+]
+
+BASELINE_SCHEMA = 1
+
+
+def fingerprint_findings(
+    findings: Iterable[StaticFinding],
+) -> List[Tuple[StaticFinding, str]]:
+    """Stable ``(finding, fingerprint)`` pairs, in finding sort order.
+
+    Duplicate (rule, path, symbol, message) tuples are disambiguated by
+    occurrence index in line order, so two identical messages in one
+    function baseline independently.
+    """
+    counts: Dict[Tuple, int] = {}
+    out = []
+    for f in sorted(findings):
+        key = (f.rule, f.path, f.symbol, f.message)
+        counts[key] = occurrence = counts.get(key, 0) + 1
+        digest = hashlib.sha1(
+            "|".join((f.rule, f.path, f.symbol, f.message,
+                      str(occurrence))).encode("utf-8")
+        ).hexdigest()[:16]
+        out.append((f, digest))
+    return out
+
+
+def render_baseline(findings: Iterable[StaticFinding]) -> str:
+    """Canonical baseline JSON for the given findings."""
+    suppressions = [
+        {
+            "fingerprint": digest,
+            "rule": f.rule,
+            "path": f.path,
+            "symbol": f.symbol,
+            "message": f.message,
+        }
+        for f, digest in fingerprint_findings(findings)
+    ]
+    suppressions.sort(key=lambda s: (s["path"], s["rule"], s["fingerprint"]))
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "tool": "repro.analyze.static",
+        "suppressions": suppressions,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def load_baseline(path: Path) -> Dict[str, Dict]:
+    """``fingerprint -> entry`` from a baseline file."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline schema {doc.get('schema')!r} != {BASELINE_SCHEMA} "
+            f"({path})"
+        )
+    return {s["fingerprint"]: s for s in doc.get("suppressions", ())}
+
+
+@dataclass
+class BaselineDiff:
+    """--check verdict: green iff both ``new`` and ``stale`` are empty."""
+
+    new: List[Tuple[StaticFinding, str]] = field(default_factory=list)
+    matched: int = 0
+    stale: List[Dict] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+def compare(findings: Iterable[StaticFinding],
+            baseline: Dict[str, Dict]) -> BaselineDiff:
+    diff = BaselineDiff()
+    seen = set()
+    for f, digest in fingerprint_findings(findings):
+        if digest in baseline:
+            diff.matched += 1
+            seen.add(digest)
+        else:
+            diff.new.append((f, digest))
+    diff.stale = sorted(
+        (entry for fp, entry in baseline.items() if fp not in seen),
+        key=lambda e: (e["path"], e["rule"], e["fingerprint"]),
+    )
+    return diff

@@ -1,0 +1,134 @@
+"""Call graph and effect summaries spanning apps down into repro.upc.
+
+For every function in the project this computes a :class:`Summary` of
+the PGAS effects its body may perform, directly or through calls the
+symbol table can resolve (closures, same-module functions, imported
+project functions):
+
+* ``collective``    — barrier / split-phase barrier / team collective;
+* ``shared_read``   — costed reads of remote shared data;
+* ``shared_write``  — costed writes of remote shared data;
+* ``affinity``      — castability / locality queries (``can_cast`` and
+  friends), whose results are fixed for a run.
+
+Functions defined in a ``collectives`` module are collective *by
+contract* even when their implementation is pairwise (the UPC spec's
+broadcast/reduce/exchange must be called by every thread), which is
+exactly what the alignment pass needs to know.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analyze.static.loader import FunctionInfo, Project, walk_own
+
+__all__ = [
+    "Summary", "CallGraph",
+    "COLLECTIVE_ATTRS", "SHARED_READ_ATTRS", "SHARED_WRITE_ATTRS",
+    "AFFINITY_ATTRS",
+]
+
+#: Method names that are collective primitives wherever they appear
+#: (Upc.barrier*, team/group barriers, named collective gates, shared
+#: allocation).
+COLLECTIVE_ATTRS = {
+    "barrier", "barrier_notify", "barrier_wait", "all_alloc", "collective",
+}
+
+#: Costed shared-data reads (one-sided gets and element reads).
+SHARED_READ_ATTRS = {
+    "memget", "memget_nb", "read_elem", "get_block", "am_roundtrip",
+}
+
+#: Costed shared-data writes (one-sided puts and element writes).
+SHARED_WRITE_ATTRS = {"memput", "memput_nb", "write_elem", "put_block"}
+
+#: Affinity / castability queries: results are topological, fixed for
+#: the whole run (crashes remove threads but never re-map memory).
+AFFINITY_ATTRS = {"can_cast", "peers_sharing_memory", "supernode_peers"}
+
+
+@dataclass
+class Summary:
+    collective: bool = False
+    shared_read: bool = False
+    shared_write: bool = False
+    affinity: bool = False
+
+    def merge(self, other: "Summary") -> bool:
+        """Absorb ``other``; True when anything changed."""
+        before = (self.collective, self.shared_read,
+                  self.shared_write, self.affinity)
+        self.collective |= other.collective
+        self.shared_read |= other.shared_read
+        self.shared_write |= other.shared_write
+        self.affinity |= other.affinity
+        return before != (self.collective, self.shared_read,
+                          self.shared_write, self.affinity)
+
+
+def _local_summary(fn: FunctionInfo) -> Summary:
+    s = Summary()
+    if fn.module.name.rsplit(".", 1)[-1] == "collectives":
+        s.collective = True
+    for node in walk_own(fn.node):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in COLLECTIVE_ATTRS:
+                s.collective = True
+            if attr in SHARED_READ_ATTRS:
+                s.shared_read = True
+            if attr in SHARED_WRITE_ATTRS:
+                s.shared_write = True
+            if attr in AFFINITY_ATTRS:
+                s.affinity = True
+    return s
+
+
+class CallGraph:
+    """Resolved call sites + fixed-point effect summaries."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.summaries: Dict[FunctionInfo, Summary] = {}
+        #: per function: [(call node, resolved callee or None)]
+        self.calls: Dict[FunctionInfo, List[Tuple[ast.Call,
+                                                  Optional[FunctionInfo]]]] = {}
+        for fn in project.functions:
+            self.summaries[fn] = _local_summary(fn)
+            sites = []
+            for node in walk_own(fn.node):
+                if isinstance(node, ast.Call):
+                    sites.append((node, project.resolve_call(node.func, fn)))
+            self.calls[fn] = sites
+        # propagate callee effects to callers until stable
+        changed = True
+        while changed:
+            changed = False
+            for fn, sites in self.calls.items():
+                summary = self.summaries[fn]
+                for _node, callee in sites:
+                    if callee is not None and \
+                            summary.merge(self.summaries[callee]):
+                        changed = True
+
+    def summary(self, fn: FunctionInfo) -> Summary:
+        return self.summaries[fn]
+
+    def is_collective_call(self, call: ast.Call,
+                           scope: FunctionInfo) -> Optional[str]:
+        """Why ``call`` is a collective, or None.
+
+        Either a primitive by method name, or a resolved callee whose
+        summary (transitively) performs a collective.
+        """
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in COLLECTIVE_ATTRS:
+            return f"collective primitive .{func.attr}()"
+        callee = self.project.resolve_call(func, scope)
+        if callee is not None and self.summaries[callee].collective:
+            return f"call to {callee.name}(), which performs a collective"
+        return None

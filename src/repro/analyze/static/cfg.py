@@ -1,0 +1,192 @@
+"""Per-function control-flow graphs for the static PGAS analyzer.
+
+One :class:`CFG` per function: basic blocks of statements linked by
+successor edges, built from the AST with the usual shapes for if/else,
+loops (explicit header block so loop-carried state reaches the guard),
+try/except (handlers conservatively reachable from the try entry and
+exit), break/continue/return/raise.  Nested function definitions are
+single statements here — each closure gets its own CFG.
+
+Two lookup tables drive the flow-sensitive passes:
+
+* ``stmt_block`` — every statement's containing block;
+* ``guard_block`` — for each ``if``/``while`` test and ``for`` iterable,
+  the block whose dataflow state is live when that guard is evaluated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+__all__ = ["Block", "CFG", "build_cfg"]
+
+
+class Block:
+    __slots__ = ("id", "stmts", "succ")
+
+    def __init__(self, bid: int):
+        self.id = bid
+        self.stmts: List[ast.stmt] = []
+        self.succ: List[int] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Block {self.id} stmts={len(self.stmts)} succ={self.succ}>"
+
+
+class CFG:
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.entry = self.new_block()
+        self.exit = self.new_block()
+        self.stmt_block: Dict[int, int] = {}   #: id(stmt) -> block id
+        self.guard_block: Dict[int, int] = {}  #: id(test/iter expr) -> block id
+        self._reach: Dict[int, frozenset] = {}
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def link(self, src: Block, dst: Block) -> None:
+        if dst.id not in src.succ:
+            src.succ.append(dst.id)
+
+    def preds(self, block: Block) -> List[Block]:
+        return [b for b in self.blocks if block.id in b.succ]
+
+    def reaches(self, src: int, dst: int) -> bool:
+        """True when ``dst`` is reachable from ``src`` along edges."""
+        cached = self._reach.get(src)
+        if cached is None:
+            seen = set()
+            stack = list(self.blocks[src].succ)
+            while stack:
+                b = stack.pop()
+                if b in seen:
+                    continue
+                seen.add(b)
+                stack.extend(self.blocks[b].succ)
+            cached = self._reach[src] = frozenset(seen)
+        return dst in cached
+
+
+class _Builder:
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.loops: List[tuple] = []  # (header, after)
+
+    def seq(self, stmts: List[ast.stmt], cur: Block) -> Block:
+        for stmt in stmts:
+            nxt = self.stmt(stmt, cur)
+            # after return/break/... the rest of the suite is unreachable;
+            # keep threading through a fresh (edge-less) block so later
+            # statements still get stmt_block entries
+            cur = nxt if nxt is not None else self.cfg.new_block()
+        return cur
+
+    def stmt(self, s: ast.stmt, cur: Block) -> Optional[Block]:
+        cfg = self.cfg
+        cfg.stmt_block[id(s)] = cur.id
+        if isinstance(s, ast.If):
+            cur.stmts.append(s)
+            cfg.guard_block[id(s.test)] = cur.id
+            after = cfg.new_block()
+            then_in = cfg.new_block()
+            cfg.link(cur, then_in)
+            then_out = self.seq(s.body, then_in)
+            cfg.link(then_out, after)
+            if s.orelse:
+                else_in = cfg.new_block()
+                cfg.link(cur, else_in)
+                cfg.link(self.seq(s.orelse, else_in), after)
+            else:
+                cfg.link(cur, after)
+            return after
+        if isinstance(s, (ast.While, ast.For, ast.AsyncFor)):
+            header = cfg.new_block()
+            cfg.link(cur, header)
+            cfg.stmt_block[id(s)] = header.id
+            header.stmts.append(s)
+            if isinstance(s, ast.While):
+                # guard re-evaluated each iteration: loop-carried state
+                # (the header's merged in-state) is what it sees
+                cfg.guard_block[id(s.test)] = header.id
+            else:
+                # the iterable is evaluated once, before the loop
+                cfg.guard_block[id(s.iter)] = cur.id
+            after = cfg.new_block()
+            body_in = cfg.new_block()
+            cfg.link(header, body_in)
+            self.loops.append((header, after))
+            body_out = self.seq(s.body, body_in)
+            self.loops.pop()
+            cfg.link(body_out, header)
+            if s.orelse:
+                else_in = cfg.new_block()
+                cfg.link(header, else_in)
+                cfg.link(self.seq(s.orelse, else_in), after)
+            cfg.link(header, after)
+            return after
+        if isinstance(s, ast.Try):
+            cur.stmts.append(s)
+            after = cfg.new_block()
+            body_in = cfg.new_block()
+            cfg.link(cur, body_in)
+            body_out = self.seq(s.body, body_in)
+            if s.orelse:
+                body_out = self.seq(s.orelse, body_out)
+            outs = [body_out]
+            for handler in s.handlers:
+                h_in = cfg.new_block()
+                # conservative: a handler can run with state from anywhere
+                # in the body; entry and exit edges over-approximate that
+                cfg.link(cur, h_in)
+                cfg.link(body_out, h_in)
+                cfg.stmt_block[id(handler)] = h_in.id
+                outs.append(self.seq(handler.body, h_in))
+            if s.finalbody:
+                fin_in = cfg.new_block()
+                for out in outs:
+                    cfg.link(out, fin_in)
+                cfg.link(self.seq(s.finalbody, fin_in), after)
+            else:
+                for out in outs:
+                    cfg.link(out, after)
+            return after
+        if isinstance(s, (ast.With, ast.AsyncWith)):
+            cur.stmts.append(s)
+            return self.seq(s.body, cur)
+        if isinstance(s, ast.Match):
+            cur.stmts.append(s)
+            after = cfg.new_block()
+            for case in s.cases:
+                c_in = cfg.new_block()
+                cfg.link(cur, c_in)
+                cfg.link(self.seq(case.body, c_in), after)
+            cfg.link(cur, after)
+            return after
+        if isinstance(s, (ast.Return, ast.Raise)):
+            cur.stmts.append(s)
+            cfg.link(cur, cfg.exit)
+            return None
+        if isinstance(s, ast.Break):
+            cur.stmts.append(s)
+            if self.loops:
+                cfg.link(cur, self.loops[-1][1])
+            return None
+        if isinstance(s, ast.Continue):
+            cur.stmts.append(s)
+            if self.loops:
+                cfg.link(cur, self.loops[-1][0])
+            return None
+        cur.stmts.append(s)
+        return cur
+
+
+def build_cfg(func_node: ast.AST) -> CFG:
+    """CFG over one function's own statements (nested defs opaque)."""
+    cfg = CFG()
+    out = _Builder(cfg).seq(func_node.body, cfg.entry)
+    cfg.link(out, cfg.exit)
+    return cfg

@@ -1,0 +1,165 @@
+"""Thread-dependence ("single-valued") taint analysis.
+
+The PGAS collective-alignment discipline (DESIGN.md §9, Titanium's
+single-valued qualifier) requires every thread to execute the same
+collective sequence.  This module computes, flow-sensitively over a
+function's CFG, which local names hold *thread-dependent* values — ones
+that may differ across UPC threads at the same program point:
+
+* ``upc.MYTHREAD``, ``upc.rng`` draws, ``upc.wtime()`` (threads'
+  simulated clocks agree only at barriers);
+* affinity/castability queries: ``can_cast(...)``,
+  ``peers_sharing_memory()``, ``shared_memory_group(...)``,
+  hierarchy coordinates (``my_node``/``my_socket``/``pu``);
+* ``upc_forall`` iteration (``forall.indices(...)`` yields each thread
+  its own index subset);
+* anything computed from the above.
+
+Taint propagates through assignments (tuple-to-tuple unpacking is
+element-wise, so ``me, T = upc.MYTHREAD, upc.THREADS`` taints only
+``me``), loop targets, and ``with ... as`` bindings.  In-place mutation
+through method calls (``upc.rng.shuffle(xs)``) is *not* tracked — a
+documented under-approximation; the dynamic collective checker remains
+the runtime backstop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Optional
+
+from repro.analyze.static.cfg import CFG
+
+__all__ = ["TaintState", "expr_tainted", "analyze_taint"]
+
+#: Attribute reads that are thread-dependent whatever the receiver.
+TAINT_ATTRS = {"MYTHREAD", "rng", "my_node", "my_socket", "pu"}
+
+#: Method names whose call result is thread-dependent regardless of args.
+TAINT_CALL_ATTRS = {
+    "can_cast", "peers_sharing_memory", "supernode_peers", "wtime",
+    "indices",  # forall.indices: each thread iterates its own subset
+}
+
+#: Plain-name calls whose result is thread-dependent.
+TAINT_CALL_NAMES = {"shared_memory_group", "indices"}
+
+
+def expr_tainted(expr: ast.expr, env: FrozenSet[str]) -> bool:
+    """Whether ``expr`` may evaluate differently on different threads."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name) and node.id in env:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in TAINT_ATTRS:
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in TAINT_CALL_ATTRS:
+                return True
+            if isinstance(func, ast.Name) and func.id in TAINT_CALL_NAMES:
+                return True
+    return False
+
+
+def _assign(target: ast.expr, value: Optional[ast.expr], env: set,
+            value_tainted: Optional[bool] = None) -> None:
+    """Strong update of ``env`` for one assignment target."""
+    if (isinstance(target, ast.Tuple) and isinstance(value, ast.Tuple)
+            and len(target.elts) == len(value.elts)):
+        for t, v in zip(target.elts, value.elts):
+            _assign(t, v, env)
+        return
+    if value_tainted is None:
+        value_tainted = value is not None and expr_tainted(value, env)
+    if isinstance(target, ast.Name):
+        (env.add if value_tainted else env.discard)(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List, ast.Starred)):
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name):
+                (env.add if value_tainted else env.discard)(sub.id)
+    # Subscript/Attribute targets: container mutation is not tracked
+
+
+def _transfer(stmt: ast.stmt, env: set) -> None:
+    """Apply one statement's effect on the taint environment, in place.
+
+    Compound statements contribute only their headers here (guards do
+    not assign; a ``for`` binds its target); their bodies live in other
+    blocks of the CFG.
+    """
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            _assign(target, stmt.value, env)
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        _assign(stmt.target, stmt.value, env)
+    elif isinstance(stmt, ast.AugAssign):
+        if isinstance(stmt.target, ast.Name):
+            if expr_tainted(stmt.value, env):
+                env.add(stmt.target.id)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        _assign(stmt.target, None, env,
+                value_tainted=expr_tainted(stmt.iter, env))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                _assign(item.optional_vars, item.context_expr, env)
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.NamedExpr):
+        _assign(stmt.value.target, stmt.value.value, env)
+
+
+class TaintState:
+    """Per-block taint environments plus guard lookups for one function."""
+
+    def __init__(self, cfg: CFG, entry_env: Dict[int, FrozenSet[str]],
+                 exit_env: Dict[int, FrozenSet[str]]):
+        self.cfg = cfg
+        self.entry_env = entry_env
+        self.exit_env = exit_env
+
+    def guard_env(self, guard_expr: ast.expr) -> FrozenSet[str]:
+        """Taint environment live when a recorded guard is evaluated."""
+        block = self.cfg.guard_block.get(id(guard_expr))
+        if block is None:
+            # unknown site: be conservative, union everything
+            out: set = set()
+            for env in self.exit_env.values():
+                out |= env
+            return frozenset(out)
+        return self.exit_env[block]
+
+    def guard_tainted(self, guard_expr: ast.expr) -> bool:
+        return expr_tainted(guard_expr, self.guard_env(guard_expr))
+
+
+def analyze_taint(cfg: CFG, seed: FrozenSet[str] = frozenset()) -> TaintState:
+    """Fixed-point taint dataflow over one function's CFG.
+
+    ``seed`` pre-taints names (closure captures known to be
+    thread-dependent in the enclosing scope).
+    """
+    entry: Dict[int, set] = {b.id: set() for b in cfg.blocks}
+    exit_: Dict[int, set] = {b.id: set() for b in cfg.blocks}
+    entry[cfg.entry.id] = set(seed)
+
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            env = set(entry[block.id])
+            if block.id != cfg.entry.id:
+                for pred in cfg.preds(block):
+                    env |= exit_[pred.id]
+                if env != entry[block.id]:
+                    entry[block.id] = set(env)
+                    changed = True
+            out = set(env)
+            for stmt in block.stmts:
+                _transfer(stmt, out)
+            if out != exit_[block.id]:
+                exit_[block.id] = out
+                changed = True
+    return TaintState(
+        cfg,
+        {k: frozenset(v) for k, v in entry.items()},
+        {k: frozenset(v) for k, v in exit_.items()},
+    )

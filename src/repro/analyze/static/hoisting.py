@@ -1,0 +1,187 @@
+"""PGAS012: loop-invariant remote accesses and affinity re-queries.
+
+Remote operations cost simulated network time and host cycles; affinity
+queries (``can_cast`` & co) are pure functions of the machine topology,
+fixed for the whole run.  Three shapes of redundancy:
+
+* **invariant remote reads** — a costed shared read (``memget``,
+  ``read_elem``, ``get_block``...) or affinity query inside a loop whose
+  receiver/arguments never change across iterations: hoist it (or its
+  result) above the loop.  (For a shared *read* this is a candidate, not
+  a proof — another thread may be writing; the rule exists to make that
+  choice explicit, and the baseline records the accepted ones.)
+
+* **closure calls re-running affinity queries** — a loop calling a
+  local closure whose transitive summary performs affinity queries (and
+  no collective), with loop-invariant arguments *and* loop-invariant
+  captured variables: the castability schedule it recomputes per
+  iteration can be precomputed once (the paper's pointer-table idiom).
+
+* **repeated castability queries** — ``can_cast(x)`` evaluated at two
+  sites where the first reaches the second (CFG reachability) and ``x``
+  is never reassigned in the function: the second query is a re-ask of
+  a run-constant answer; keep it in a local (or the prebuilt
+  :class:`~repro.upc.pointers.PointerTable`).
+
+The ``repro.upc``/``repro.gasnet`` runtime is exempt (it implements the
+primitives the rule reasons about).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from repro.analyze.findings import StaticFinding
+from repro.analyze.static.callgraph import (
+    AFFINITY_ATTRS, CallGraph, SHARED_READ_ATTRS,
+)
+from repro.analyze.static.cfg import CFG
+from repro.analyze.static.loader import FunctionInfo, own_parents, walk_own
+from repro.analyze.static.privatization import _assigned_names
+
+__all__ = ["run"]
+
+_RUNTIME_EXEMPT = ("repro/upc/", "repro/gasnet/")
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _free_names(expr: ast.AST) -> set:
+    return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+
+
+def _loop_bound_names(loop: ast.stmt) -> set:
+    names = _assigned_names(loop.body + getattr(loop, "orelse", []))
+    if isinstance(loop, (ast.For, ast.AsyncFor)):
+        names |= {n.id for n in ast.walk(loop.target)
+                  if isinstance(n, ast.Name)}
+    return names
+
+
+def _enclosing_loops(parents, node: ast.AST) -> List[ast.stmt]:
+    """Innermost-first loops containing ``node`` (headers excluded)."""
+    loops: List[ast.stmt] = []
+    child = node
+    while id(child) in parents:
+        parent = parents[id(child)]
+        if isinstance(parent, _LOOPS):
+            header = (parent.test,) if isinstance(parent, ast.While) \
+                else (parent.iter, parent.target)
+            if child not in header:
+                loops.append(parent)
+        child = parent
+    return loops
+
+
+def _stmt_of(parents, cfg: CFG, node: ast.AST) -> Optional[int]:
+    """The CFG block holding the statement that contains ``node``."""
+    child = node
+    while child is not None:
+        block = cfg.stmt_block.get(id(child))
+        if block is not None:
+            return block
+        child = parents.get(id(child))
+    return None
+
+
+def run(fn: FunctionInfo, cfg: CFG, callgraph: CallGraph) -> List[StaticFinding]:
+    if any(fn.module.path.startswith(prefix) for prefix in _RUNTIME_EXEMPT):
+        return []
+    findings: List[StaticFinding] = []
+    parents = own_parents(fn.node)
+
+    def add(node: ast.AST, message: str) -> None:
+        findings.append(StaticFinding(
+            path=fn.module.path, line=node.lineno, col=node.col_offset,
+            rule="PGAS012", symbol=fn.qualname, message=message,
+        ))
+
+    can_cast_sites: Dict[str, List[ast.Call]] = {}
+    assigned_in_fn = _assigned_names([fn.node])
+
+    for node in walk_own(fn.node):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, (ast.Attribute, ast.Name))):
+            continue
+        attr = node.func.attr if isinstance(node.func, ast.Attribute) else None
+
+        # collect can_cast sites for shape 3
+        if attr == "can_cast":
+            key = ", ".join(ast.unparse(a) for a in node.args)
+            can_cast_sites.setdefault(key, []).append(node)
+
+        loops = _enclosing_loops(parents, node)
+        if not loops:
+            continue
+
+        # -- shape 1: invariant remote read / affinity query -------------
+        if attr in SHARED_READ_ATTRS or attr in AFFINITY_ATTRS:
+            invariant_in = None
+            for loop in loops:  # innermost first; must clear each level
+                if _free_names(node) & _loop_bound_names(loop):
+                    break
+                invariant_in = loop
+            if invariant_in is not None:
+                what = ("affinity query" if attr in AFFINITY_ATTRS
+                        else "remote read")
+                add(node,
+                    f"loop-invariant {what} '{ast.unparse(node)}' "
+                    f"(loop at line {invariant_in.lineno}): receiver and "
+                    "arguments never change across iterations; hoist it "
+                    "(or its result) above the loop")
+            continue
+
+        # -- shape 2: closure re-running affinity queries ----------------
+        callee = callgraph.project.resolve_call(node.func, fn)
+        if callee is None or callee.parent is None:
+            continue
+        summary = callgraph.summary(callee)
+        if not summary.affinity or summary.collective:
+            continue
+        loop = loops[0]
+        bound = _loop_bound_names(loop)
+        arg_names = set()
+        for arg in node.args:
+            arg_names |= _free_names(arg)
+        for kw in node.keywords:
+            arg_names |= _free_names(kw.value)
+        if (arg_names | callee.free_names()) & bound:
+            continue
+        add(node,
+            f"call to closure {callee.name}() inside the loop at line "
+            f"{loop.lineno} re-runs its affinity/castability queries every "
+            "iteration although its arguments and captured variables are "
+            "loop-invariant; precompute the castability schedule once "
+            "before the loop (pointer-table idiom)")
+
+    # -- shape 3: repeated castability queries ---------------------------
+    for key in sorted(can_cast_sites):
+        sites = sorted(can_cast_sites[key],
+                       key=lambda c: (c.lineno, c.col_offset))
+        if len(sites) < 2:
+            continue
+        if _free_names_of_args(sites[0]) & assigned_in_fn:
+            continue
+        first = sites[0]
+        first_block = _stmt_of(parents, cfg, first)
+        for later in sites[1:]:
+            later_block = _stmt_of(parents, cfg, later)
+            if first_block is None or later_block is None:
+                continue
+            same_block = first_block == later_block
+            if same_block or cfg.reaches(first_block, later_block):
+                add(later,
+                    f"castability can_cast({key}) was already queried at "
+                    f"line {first.lineno} and its inputs are never "
+                    "reassigned; the answer is fixed for the run — keep it "
+                    "in a local (or use the prebuilt pointer table)")
+
+    return findings
+
+
+def _free_names_of_args(call: ast.Call) -> set:
+    names: set = set()
+    for arg in call.args:
+        names |= _free_names(arg)
+    return names

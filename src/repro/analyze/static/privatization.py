@@ -1,0 +1,148 @@
+"""PGAS011: privatization candidates (affinity makes the access local).
+
+Two shapes, both cross-checked against the sanitizer's legality rules
+(``Upc.can_cast`` is always true for the calling thread's own block, and
+a cast is legal exactly when ``can_cast(owner)`` holds — see the dynamic
+privatization checker):
+
+* **affinity loops** — inside ``for i in forall.indices(upc, ...,
+  affinity=A)`` the iteration ``i`` is owned by the executing thread, so
+  an element access ``A.read_elem(upc, i)`` / ``A.write_elem(upc, i,
+  v)`` pays shared-pointer translation for provably local data.  The
+  reported rewrite is the paper's Fig 3.3 cast:
+  ``SharedPointer(A, i).privatize(upc)`` -> ``LocalPointer``.
+
+* **guarded bulk ops** — a ``memget``/``memput`` (or block access)
+  issued under an ``if ...can_cast(...)`` guard without
+  ``privatized=True`` takes the translated path the guard just proved
+  avoidable.
+
+The ``repro.upc`` runtime itself is exempt: it *implements* the
+privatized paths this rule points app code at.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analyze.findings import StaticFinding
+from repro.analyze.static.loader import FunctionInfo, walk_own
+
+__all__ = ["run"]
+
+#: Bulk/element ops that accept ``privatized=`` and charge the
+#: translated path without it.
+_PRIVATIZABLE_ATTRS = {
+    "memget", "memget_nb", "memput", "memput_nb",
+    "get_block", "put_block",
+}
+
+#: The runtime implements privatization; pointing it at itself is noise.
+_RUNTIME_EXEMPT = ("repro/upc/", "repro/gasnet/")
+
+#: Names bound anywhere inside a suite (loop body, branch body).
+def _assigned_names(stmts) -> set:
+    names: set = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for t in targets:
+                    for sub in ast.walk(t):
+                        if isinstance(sub, ast.Name):
+                            names.add(sub.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for sub in ast.walk(node.target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+            elif isinstance(node, ast.NamedExpr):
+                names.add(node.target.id)
+    return names
+
+
+def _forall_affinity(loop: ast.For) -> Optional[ast.Name]:
+    """The ``affinity=A`` array of a ``forall.indices(...)`` loop, if any."""
+    call = loop.iter
+    if not isinstance(call, ast.Call):
+        return None
+    func = call.func
+    named = (isinstance(func, ast.Attribute) and func.attr == "indices") or \
+            (isinstance(func, ast.Name) and func.id == "indices")
+    if not named:
+        return None
+    for kw in call.keywords:
+        if kw.arg == "affinity" and isinstance(kw.value, ast.Name):
+            return kw.value
+    return None
+
+
+def _has_can_cast(test: ast.expr) -> bool:
+    """Whether a branch condition positively includes ``...can_cast(...)``.
+
+    Direct calls and ``and`` conjunctions count; a negated or ``or``-ed
+    query does not prove locality on the true branch.
+    """
+    if isinstance(test, ast.Call):
+        return (isinstance(test.func, ast.Attribute)
+                and test.func.attr == "can_cast")
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_has_can_cast(v) for v in test.values)
+    return False
+
+
+def run(fn: FunctionInfo) -> List[StaticFinding]:
+    if any(fn.module.path.startswith(prefix) for prefix in _RUNTIME_EXEMPT):
+        return []
+    findings: List[StaticFinding] = []
+
+    def add(node: ast.AST, message: str) -> None:
+        findings.append(StaticFinding(
+            path=fn.module.path, line=node.lineno, col=node.col_offset,
+            rule="PGAS011", symbol=fn.qualname, message=message,
+        ))
+
+    for node in walk_own(fn.node):
+        # -- shape 1: forall-affinity loops ------------------------------
+        if isinstance(node, ast.For):
+            arr = _forall_affinity(node)
+            if arr is None or not isinstance(node.target, ast.Name):
+                continue
+            ivar = node.target.id
+            rebound = _assigned_names(node.body)
+            if arr.id in rebound or ivar in rebound:
+                continue
+            for call in (c for stmt in node.body for c in ast.walk(stmt)):
+                if not (isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr in ("read_elem", "write_elem")
+                        and isinstance(call.func.value, ast.Name)
+                        and call.func.value.id == arr.id
+                        and len(call.args) >= 2
+                        and isinstance(call.args[1], ast.Name)
+                        and call.args[1].id == ivar):
+                    continue
+                add(call,
+                    f"shared access {arr.id}.{call.func.attr}(..., {ivar}) "
+                    f"inside upc_forall(affinity={arr.id}) touches only the "
+                    "executing thread's own elements; privatize via "
+                    f"SharedPointer({arr.id}, {ivar}).privatize(upc) to a "
+                    "LocalPointer (legal: can_cast always holds for the "
+                    "owner's own block)")
+        # -- shape 2: can_cast-guarded bulk ops --------------------------
+        elif isinstance(node, ast.If) and _has_can_cast(node.test):
+            for call in (c for stmt in node.body for c in ast.walk(stmt)):
+                if not (isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr in _PRIVATIZABLE_ATTRS):
+                    continue
+                if any(kw.arg == "privatized" for kw in call.keywords):
+                    continue
+                add(call,
+                    f".{call.func.attr}(...) is guarded by "
+                    f"'{ast.unparse(node.test)}' (line {node.test.lineno}) "
+                    "but issued without privatized=True: the castability "
+                    "the guard just proved goes unused and the access pays "
+                    "shared-pointer translation")
+    return findings

@@ -1,0 +1,86 @@
+"""Canonical JSON report for the static analyzer.
+
+Byte-deterministic by construction: findings arrive sorted, keys are
+sorted, counters use registered names from :mod:`repro.obs.names`, and
+nothing host- or time-dependent (timestamps, absolute paths, versions)
+is recorded.  Running the analyzer twice over the same tree must
+produce identical bytes — CI diffs the artifact on that promise.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.obs import names
+from repro.analyze.static.baseline import BaselineDiff, fingerprint_findings
+
+__all__ = ["build_report", "to_json", "render_text"]
+
+REPORT_SCHEMA = 1
+
+
+def build_report(result, diff: Optional[BaselineDiff] = None) -> Dict:
+    """The canonical report document for one analysis run.
+
+    ``result`` is an :class:`~repro.analyze.static.AnalysisResult`;
+    ``diff`` (when gating) adds the baseline verdict.
+    """
+    doc = {
+        "schema": REPORT_SCHEMA,
+        "tool": "repro.analyze.static",
+        "counters": {
+            names.STATIC_FILES: result.files,
+            names.STATIC_FUNCTIONS: result.functions,
+            names.STATIC_FINDINGS: len(result.findings),
+            names.STATIC_SUPPRESSED: result.suppressed,
+            names.STATIC_BASELINED: diff.matched if diff else 0,
+        },
+        "findings": [
+            {**f.row(), "fingerprint": digest}
+            for f, digest in fingerprint_findings(result.findings)
+        ],
+    }
+    if diff is not None:
+        doc["baseline"] = {
+            "clean": diff.clean,
+            "matched": diff.matched,
+            "new": [{**f.row(), "fingerprint": digest}
+                    for f, digest in diff.new],
+            "stale": diff.stale,
+        }
+    return doc
+
+
+def to_json(doc: Dict) -> str:
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def render_text(result, diff: Optional[BaselineDiff] = None) -> str:
+    """Human-readable summary (CLI stdout)."""
+    lines = []
+    if diff is None:
+        lines += [str(f) for f in result.findings]
+        lines.append(
+            f"{len(result.findings)} finding(s) over {result.files} file(s), "
+            f"{result.functions} function(s); {result.suppressed} noqa-"
+            "suppressed"
+        )
+    else:
+        for f, _digest in diff.new:
+            lines.append(f"NEW  {f}")
+        for entry in diff.stale:
+            lines.append(
+                f"STALE {entry['path']} {entry['rule']} "
+                f"[{entry['fingerprint']}] {entry['message']}"
+            )
+        verdict = "clean" if diff.clean else (
+            f"{len(diff.new)} new finding(s), {len(diff.stale)} stale "
+            "baseline entr(ies)"
+        )
+        lines.append(
+            f"baseline check: {verdict}; {diff.matched} baselined, "
+            f"{result.suppressed} noqa-suppressed, {result.files} file(s) "
+            "scanned"
+        )
+    return "\n".join(lines)

@@ -207,8 +207,11 @@ def _try_steal_impl(upc, cfg: UtsConfig, stacks: List[StealStack],
     got_work = False
     lock = None
     try:
-        # discovery: read the victim's stack metadata
-        if upc.can_cast(v):
+        # discovery: read the victim's stack metadata.  Castability is
+        # topological and fixed for the run, so query it once up front
+        # (the analyzer's PGAS012 verdict) instead of per remote access.
+        castable = upc.can_cast(v)
+        if castable:
             yield from upc.compute(upc.gasnet.backend.shm_roundtrip)
         else:
             yield from upc.memget(v, 8)
@@ -232,7 +235,7 @@ def _try_steal_impl(upc, cfg: UtsConfig, stacks: List[StealStack],
         glob.start_transit(me, len(nodes))
         in_flight = len(nodes)
         nbytes = len(nodes) * NODE_BYTES
-        yield from upc.memget(v, nbytes, privatized=upc.can_cast(v))
+        yield from upc.memget(v, nbytes, privatized=castable)
         # The chunk is ours once the get completes: land it before the
         # unlock round, so a victim dying during unlock loses nothing.
         stacks[me].push(nodes)

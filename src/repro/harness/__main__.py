@@ -54,6 +54,12 @@ def main(argv=None) -> int:
                         help="arm the dynamic PGAS sanitizer (repro.analyze): "
                              "race, privatization-legality and collective-"
                              "matching checks; any finding fails the run")
+    parser.add_argument("--analyze-static", action="store_true",
+                        help="run the flow-aware static PGAS analyzer over "
+                             "the repro package against the committed "
+                             "baseline and exit (the static counterpart to "
+                             "--sanitize; same gate as python -m "
+                             "repro.analyze.static --check)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run independent simulation points across N "
                              "worker processes (default 1: inline, "
@@ -113,6 +119,10 @@ def main(argv=None) -> int:
                              "journal under DIR (a cache dir or a journals "
                              f"dir; default {DEFAULT_CACHE_DIR}) and exit")
     args = parser.parse_args(argv)
+    if args.analyze_static:
+        from repro.analyze.static.__main__ import main as static_main
+
+        return static_main(["--check"])
     if args.status is not None:
         from repro.harness.status import render_status
 

@@ -46,6 +46,9 @@ __all__ = [
     "ENGINE_COSTED_CYCLES", "ENGINE_METRICS",
     # sanitizer (repro.analyze)
     "SAN_RACE_FINDINGS", "SAN_PRIVATIZATION_FINDINGS", "SAN_COLLECTIVE_FINDINGS",
+    # static analyzer (repro.analyze.static)
+    "STATIC_FILES", "STATIC_FUNCTIONS", "STATIC_FINDINGS",
+    "STATIC_SUPPRESSED", "STATIC_BASELINED", "STATIC_METRICS",
     # profiler (repro.obs.profile)
     "PROF_HOST_CALLS", "PROF_HOST_WALL_US",
     "PROF_COST_EVENTS", "PROF_COST_CYCLES", "PROF_COST_SWITCHES",
@@ -165,6 +168,27 @@ SAN_RACE_FINDINGS = "sanitizer.race_findings"
 SAN_PRIVATIZATION_FINDINGS = "sanitizer.privatization_findings"
 SAN_COLLECTIVE_FINDINGS = "sanitizer.collective_findings"
 
+# -- static analyzer (repro.analyze.static) -------------------------------
+#
+# Counters carried by the canonical JSON report of the static PGAS
+# analyzer; like every other emitter it spells registered names, so the
+# report schema is enumerable and typo-proof.
+
+STATIC_FILES = "static.files_scanned"
+STATIC_FUNCTIONS = "static.functions_analyzed"
+STATIC_FINDINGS = "static.findings"
+STATIC_SUPPRESSED = "static.suppressed_noqa"
+STATIC_BASELINED = "static.baselined"
+
+#: Every counter the static report emits, in emission order.
+STATIC_METRICS = (
+    STATIC_FILES,
+    STATIC_FUNCTIONS,
+    STATIC_FINDINGS,
+    STATIC_SUPPRESSED,
+    STATIC_BASELINED,
+)
+
 # -- profiler (repro.obs.profile) -----------------------------------------
 #
 # The host wall-clock profiler weighs folded stacks by Python call counts
@@ -229,6 +253,11 @@ REGISTRY = {
     SAN_RACE_FINDINGS: ("count", "sanitizer: data races detected"),
     SAN_PRIVATIZATION_FINDINGS: ("count", "sanitizer: illegal privatized accesses"),
     SAN_COLLECTIVE_FINDINGS: ("count", "sanitizer: collective/barrier mismatches"),
+    STATIC_FILES: ("count", "static analyzer: files scanned"),
+    STATIC_FUNCTIONS: ("count", "static analyzer: functions analyzed"),
+    STATIC_FINDINGS: ("count", "static analyzer: findings after noqa"),
+    STATIC_SUPPRESSED: ("count", "static analyzer: findings suppressed by noqa"),
+    STATIC_BASELINED: ("count", "static analyzer: findings matched by the baseline"),
     PROF_HOST_CALLS: ("count", "profiler: Python calls attributed to a site path"),
     PROF_HOST_WALL_US: ("sum", "profiler: wall microseconds at a site path"),
     PROF_COST_EVENTS: ("count", "profiler: engine events scheduled by a site"),

@@ -1,0 +1,270 @@
+"""Units for the static-analyzer framework: loader, CFG, taint,
+call-graph summaries and the baseline ratchet (DESIGN.md §14)."""
+
+import ast
+
+import pytest
+
+from repro.analyze.findings import RULES, StaticFinding
+from repro.analyze.static.baseline import (
+    compare, fingerprint_findings, load_baseline, render_baseline,
+)
+from repro.analyze.static.callgraph import CallGraph
+from repro.analyze.static.cfg import build_cfg
+from repro.analyze.static.dataflow import analyze_taint
+from repro.analyze.static.loader import load_sources
+
+
+def one_module(source, path="mod.py"):
+    project = load_sources([(source, path)])
+    return project, project.modules[0]
+
+
+def fn_named(module, qualname):
+    for fn in module.functions:
+        if fn.qualname == qualname:
+            return fn
+    raise AssertionError(f"no function {qualname!r} in {module.name}")
+
+
+class TestLoader:
+    def test_nested_defs_collected_even_inside_branches(self):
+        src = (
+            "def outer(upc):\n"
+            "    if upc.MYTHREAD:\n"
+            "        def inner():\n"
+            "            pass\n"
+            "    for _ in range(3):\n"
+            "        def looped():\n"
+            "            pass\n"
+        )
+        _, mod = one_module(src)
+        names = {fn.qualname for fn in mod.functions}
+        assert names == {"outer", "outer.inner", "outer.looped"}
+        inner = fn_named(mod, "outer.inner")
+        assert inner.parent is fn_named(mod, "outer")
+        assert inner.is_spmd  # inherited from the enclosing scope
+
+    def test_methods_are_parentless_but_qualified(self):
+        src = (
+            "class Thing:\n"
+            "    def method(self, upc):\n"
+            "        pass\n"
+        )
+        _, mod = one_module(src)
+        fn = fn_named(mod, "Thing.method")
+        assert fn.parent is None
+        assert fn.is_spmd
+
+    def test_free_names_are_captures(self):
+        src = (
+            "def outer(upc):\n"
+            "    k = 1\n"
+            "    def inner(x):\n"
+            "        return k + x + upc.MYTHREAD\n"
+        )
+        _, mod = one_module(src)
+        assert fn_named(mod, "outer.inner").free_names() == {"k", "upc"}
+
+    def test_function_at_picks_innermost(self):
+        src = (
+            "def outer():\n"
+            "    def inner():\n"
+            "        pass\n"
+        )
+        _, mod = one_module(src)
+        assert mod.function_at(3) == "outer.inner"
+        assert mod.function_at(1) == "outer"
+
+    def test_resolve_call_through_closure_and_import(self):
+        helper = "def shared_memory_group(upc):\n    pass\n"
+        main = (
+            "from helper import shared_memory_group\n"
+            "def run(upc):\n"
+            "    def local():\n"
+            "        pass\n"
+            "    local()\n"
+            "    shared_memory_group(upc)\n"
+        )
+        project = load_sources([(helper, "helper.py"), (main, "main.py")])
+        mod = project.by_name["main"]
+        run = fn_named(mod, "run")
+        calls = [n for n in ast.walk(run.node)
+                 if isinstance(n, ast.Call)]
+        resolved = {project.resolve_call(c.func, run).full_name
+                    for c in calls if project.resolve_call(c.func, run)}
+        assert resolved == {"main.run.local", "helper.shared_memory_group"}
+
+    def test_syntax_error_kept_as_module(self):
+        _, mod = one_module("def broken(:\n", "broken.py")
+        assert mod.tree is None
+        assert mod.syntax_error is not None
+
+
+class TestCfg:
+    def test_branch_guard_maps_to_preceding_block(self):
+        src = (
+            "def f(x):\n"
+            "    a = 1\n"
+            "    if x:\n"
+            "        b = 2\n"
+            "    c = 3\n"
+        )
+        fn = ast.parse(src).body[0]
+        cfg = build_cfg(fn)
+        test = fn.body[1].test
+        # the If test is evaluated in the block holding the assignment
+        assert cfg.guard_block[id(test)] == \
+            cfg.stmt_block[id(fn.body[0])]
+
+    def test_while_header_is_loop_carried(self):
+        src = (
+            "def f(x):\n"
+            "    while x:\n"
+            "        x = x - 1\n"
+        )
+        fn = ast.parse(src).body[0]
+        cfg = build_cfg(fn)
+        header = cfg.guard_block[id(fn.body[0].test)]
+        body = cfg.stmt_block[id(fn.body[0].body[0])]
+        # back edge: the body feeds the header again
+        assert header in cfg.blocks[body].succ
+
+    def test_reaches_respects_direction(self):
+        src = (
+            "def f(x):\n"
+            "    a = 1\n"
+            "    return a\n"
+            "    b = 2\n"
+        )
+        fn = ast.parse(src).body[0]
+        cfg = build_cfg(fn)
+        first = cfg.stmt_block[id(fn.body[0])]
+        dead = cfg.stmt_block[id(fn.body[2])]
+        assert cfg.reaches(first, cfg.exit.id)
+        assert not cfg.reaches(first, dead)
+
+
+class TestTaint:
+    def taint_of(self, src, seed=frozenset()):
+        fn = ast.parse(src).body[0]
+        cfg = build_cfg(fn)
+        return fn, cfg, analyze_taint(cfg, seed)
+
+    def test_mythread_propagates_through_assignments(self):
+        src = (
+            "def f(upc):\n"
+            "    me = upc.MYTHREAD\n"
+            "    other = me + 1\n"
+            "    clean = 7\n"
+        )
+        fn, cfg, taint = self.taint_of(src)
+        out = taint.exit_env[cfg.stmt_block[id(fn.body[-1])]]
+        assert {"me", "other"} <= out
+        assert "clean" not in out
+
+    def test_tuple_unpack_is_elementwise(self):
+        src = (
+            "def f(upc):\n"
+            "    me, total = upc.MYTHREAD, 10\n"
+        )
+        fn, cfg, taint = self.taint_of(src)
+        out = taint.exit_env[cfg.stmt_block[id(fn.body[0])]]
+        assert "me" in out
+        assert "total" not in out
+
+    def test_reassignment_clears_taint(self):
+        src = (
+            "def f(upc):\n"
+            "    me = upc.MYTHREAD\n"
+            "    me = 0\n"
+        )
+        fn, cfg, taint = self.taint_of(src)
+        out = taint.exit_env[cfg.stmt_block[id(fn.body[-1])]]
+        assert "me" not in out
+
+    def test_guard_tainted_on_thread_dependent_branch(self):
+        src = (
+            "def f(upc):\n"
+            "    if upc.MYTHREAD == 0:\n"
+            "        pass\n"
+        )
+        fn, cfg, taint = self.taint_of(src)
+        assert taint.guard_tainted(fn.body[0].test)
+
+    def test_seed_names_start_tainted(self):
+        src = (
+            "def f():\n"
+            "    y = captured\n"
+        )
+        fn, cfg, taint = self.taint_of(src, seed=frozenset({"captured"}))
+        out = taint.exit_env[cfg.stmt_block[id(fn.body[0])]]
+        assert "y" in out
+
+
+class TestCallGraph:
+    def test_collective_effect_propagates_transitively(self):
+        src = (
+            "def low(upc):\n"
+            "    yield from upc.barrier()\n"
+            "def mid(upc):\n"
+            "    yield from low(upc)\n"
+            "def top(upc):\n"
+            "    yield from mid(upc)\n"
+        )
+        project, mod = one_module(src)
+        graph = CallGraph(project)
+        for name in ("low", "mid", "top"):
+            assert graph.summary(fn_named(mod, name)).collective
+
+    def test_collectives_module_is_collective_by_contract(self):
+        src = (
+            "def exchange(upc, team, nbytes):\n"
+            "    pass\n"
+        )
+        project = load_sources([(src, "repro/upc/collectives.py")])
+        graph = CallGraph(project)
+        fn = project.modules[0].functions[0]
+        assert graph.summary(fn).collective
+
+
+class TestBaseline:
+    def finding(self, line=10, message="m"):
+        return StaticFinding(path="p.py", line=line, col=0,
+                             rule="PGAS012", symbol="f", message=message)
+
+    def test_fingerprint_ignores_line_numbers(self):
+        a = fingerprint_findings([self.finding(line=10)])
+        b = fingerprint_findings([self.finding(line=99)])
+        assert a[0][1] == b[0][1]
+
+    def test_identical_findings_get_distinct_fingerprints(self):
+        pairs = fingerprint_findings([self.finding(), self.finding(line=20)])
+        assert len({digest for _, digest in pairs}) == 2
+
+    def test_roundtrip_and_compare(self, tmp_path):
+        findings = [self.finding()]
+        path = tmp_path / "baseline.json"
+        path.write_text(render_baseline(findings), encoding="utf-8")
+        diff = compare(findings, load_baseline(path))
+        assert diff.clean and diff.matched == 1
+
+    def test_new_and_stale_detected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(render_baseline([self.finding(message="old")]),
+                        encoding="utf-8")
+        diff = compare([self.finding(message="new")], load_baseline(path))
+        assert not diff.clean
+        assert len(diff.new) == 1
+        assert len(diff.stale) == 1
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"schema": 99, "suppressions": []}',
+                        encoding="utf-8")
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(path)
+
+    def test_rules_registry_covers_all_emitted_ids(self):
+        assert {"PGAS000", "PGAS001", "PGAS002", "PGAS003", "PGAS004",
+                "PGAS009", "PGAS010", "PGAS011", "PGAS012"} <= set(RULES)

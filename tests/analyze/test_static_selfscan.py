@@ -1,0 +1,63 @@
+"""Whole-repo self-scan: the committed baseline is exact.
+
+The analyzer runs over ``src/repro`` exactly as CI does and the result
+must match ``analyze-baseline.json`` with no new findings and no stale
+entries — anyone adding debt (or paying some off) has to touch the
+baseline in the same commit.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analyze.static import analyze_tree
+from repro.analyze.static.baseline import compare, load_baseline
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PACKAGE = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "analyze-baseline.json"
+
+
+@pytest.fixture(scope="module")
+def scan():
+    return analyze_tree(PACKAGE)
+
+
+def test_baseline_file_is_committed():
+    assert BASELINE.is_file(), (
+        "analyze-baseline.json missing at the repo root; run "
+        "python -m repro.analyze.static --update-baseline"
+    )
+
+
+def test_scan_matches_baseline_exactly(scan):
+    diff = compare(scan.findings, load_baseline(BASELINE))
+    new = "\n".join(f"  NEW  {f}" for f, _ in diff.new)
+    stale = "\n".join(f"  STALE {e['path']} {e['rule']} {e['message']}"
+                      for e in diff.stale)
+    assert diff.clean, (
+        "src/repro drifted from analyze-baseline.json:\n"
+        f"{new}\n{stale}\n"
+        "fix the findings or run --update-baseline deliberately"
+    )
+
+
+def test_scan_covers_the_tree(scan):
+    # sanity floor so an empty/misrooted scan can't silently pass
+    assert scan.files > 100
+    assert scan.functions > 40
+
+
+def test_no_noqa_drift(scan):
+    # the tree currently needs no inline suppressions; if one appears,
+    # this count documents it deliberately
+    assert scan.suppressed == 0
+
+
+def test_cli_check_is_green(capsys):
+    from repro.analyze.static.__main__ import main as cli
+
+    rc = cli([str(PACKAGE), "--check", "--baseline", str(BASELINE)])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "baseline check: clean" in out
